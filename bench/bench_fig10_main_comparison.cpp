@@ -1,0 +1,91 @@
+// Fig. 10: normalized average JCT and makespan of the three systems on the
+// full 80-job workload over 100 machines, all jobs submitted at t = 0.
+//
+// Paper: naive co-location averages 1.11x JCT / 1.09x makespan over isolated
+// (worst case below 1x); Harmony reaches 2.11x JCT / 1.60x makespan. Also
+// reported here: §V-C's concurrency statistics and regrouping overhead.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  const auto workload = exp::make_catalog();
+  const auto arrivals = exp::batch_arrivals(workload.size());
+  const std::size_t machines = 100;
+
+  auto isolated_cfg = exp::ClusterSimConfig::isolated();
+  isolated_cfg.machines = machines;
+  const RunResult isolated = run(isolated_cfg, workload, arrivals);
+
+  // Naive co-location: several arbitrary groupings; report avg/best/worst.
+  std::vector<RunResult> naive_runs;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = exp::ClusterSimConfig::naive(seed);
+    cfg.machines = machines;
+    naive_runs.push_back(run(cfg, workload, arrivals));
+  }
+
+  auto harmony_cfg = exp::ClusterSimConfig::harmony();
+  harmony_cfg.machines = machines;
+  exp::ClusterSim harmony_sim(harmony_cfg, workload, arrivals);
+  const auto harmony_summary = harmony_sim.run();
+
+  const double iso_jct = isolated.mean_jct;
+  const double iso_mk = isolated.makespan;
+
+  double naive_jct_sum = 0.0, naive_mk_sum = 0.0;
+  double naive_jct_best = 0.0, naive_jct_worst = 1e300;
+  double naive_mk_best = 0.0, naive_mk_worst = 1e300;
+  for (const RunResult& r : naive_runs) {
+    naive_jct_sum += speedup(iso_jct, r.mean_jct);
+    naive_mk_sum += speedup(iso_mk, r.makespan);
+    naive_jct_best = std::max(naive_jct_best, speedup(iso_jct, r.mean_jct));
+    naive_jct_worst = std::min(naive_jct_worst, speedup(iso_jct, r.mean_jct));
+    naive_mk_best = std::max(naive_mk_best, speedup(iso_mk, r.makespan));
+    naive_mk_worst = std::min(naive_mk_worst, speedup(iso_mk, r.makespan));
+  }
+
+  print_header("Fig. 10: normalized speedup over isolated (80 jobs, 100 machines)");
+  TextTable table({"system", "avg JCT speedup", "makespan speedup", "notes"});
+  table.add_row({"Isolated", "1.000", "1.000", "baseline"});
+  table.add_row({"Naively co-located",
+                 TextTable::format_double(naive_jct_sum / naive_runs.size()),
+                 TextTable::format_double(naive_mk_sum / naive_runs.size()),
+                 "avg of 5 groupings"});
+  table.add_row({"  naive best",
+                 TextTable::format_double(naive_jct_best),
+                 TextTable::format_double(naive_mk_best), ""});
+  table.add_row({"  naive worst",
+                 TextTable::format_double(naive_jct_worst),
+                 TextTable::format_double(naive_mk_worst), ""});
+  table.add_row({"Harmony",
+                 TextTable::format_double(speedup(iso_jct, harmony_summary.mean_jct())),
+                 TextTable::format_double(speedup(iso_mk, harmony_summary.makespan)),
+                 "paper: 2.11 / 1.60"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nAbsolute numbers (hours):\n");
+  std::printf("  isolated: JCT %.2f  makespan %.2f (util cpu %.1f%% net %.1f%%)\n",
+              iso_jct / 3600.0, iso_mk / 3600.0, 100.0 * isolated.avg_util.cpu,
+              100.0 * isolated.avg_util.net);
+  std::printf("  harmony : JCT %.2f  makespan %.2f (util cpu %.1f%% net %.1f%%)\n",
+              harmony_summary.mean_jct() / 3600.0, harmony_summary.makespan / 3600.0,
+              100.0 * harmony_summary.avg_util.cpu, 100.0 * harmony_summary.avg_util.net);
+  std::printf("\nHarmony concurrency: %.1f jobs in %.1f groups on average "
+              "(paper: 27.2 jobs, 6.7 groups)\n",
+              harmony_sim.avg_concurrent_jobs(), harmony_sim.avg_concurrent_groups());
+  // Overhead normalized by the cluster's attention: total per-job pause time
+  // relative to (makespan x average concurrently-running jobs).
+  const double cluster_job_time =
+      harmony_summary.makespan * std::max(1.0, harmony_sim.avg_concurrent_jobs());
+  std::printf("Regrouping: %zu events, %.1f min total migration pause "
+              "(%.2f%% of cluster job-time; paper: <2%% of makespan)\n",
+              harmony_summary.regroup_events, harmony_summary.migration_overhead_sec / 60.0,
+              100.0 * harmony_summary.migration_overhead_sec / cluster_job_time);
+  std::printf("GC time fraction: harmony %.2f%%, OOM events: %zu\n",
+              100.0 * harmony_summary.gc_time_fraction, harmony_summary.oom_events);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 12: distribution of group DoPs and of jobs-per-group for the base
+// workload and for the computation-/communication-intensive subsets (§V-D).
+//
+// Paper shape: the computation-intensive workload uses larger DoPs (fewer,
+// bigger groups); jobs-per-group stays fairly stable across workloads.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace harmony;
+
+namespace {
+
+void run_case(const char* label, std::vector<exp::WorkloadSpec> workload) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 100;
+  exp::ClusterSim sim(config, workload, exp::batch_arrivals(workload.size()));
+  sim.run();
+
+  const auto& dops = sim.group_dop_samples();
+  const auto& sizes = sim.group_size_samples();
+  std::printf("\n-- %s --\n", label);
+  std::printf("group DoP:      p10 %.0f  median %.0f  p90 %.0f  mean %.1f\n", dops.quantile(0.1),
+              dops.quantile(0.5), dops.quantile(0.9), dops.mean());
+  std::printf("jobs per group: p10 %.0f  median %.0f  p90 %.0f  mean %.1f\n",
+              sizes.quantile(0.1), sizes.quantile(0.5), sizes.quantile(0.9), sizes.mean());
+  std::printf("DoP CDF:\n%s", dops.cdf_table(8).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto base = exp::make_catalog();
+  bench::print_header("Fig. 12: group DoP and group size distributions");
+  run_case("Base workload (80 jobs)", base);
+  run_case("Comp-intensive (top-60 by comp ratio)", exp::comp_intensive_subset(base));
+  run_case("Comm-intensive (bottom-60 by comp ratio)", exp::comm_intensive_subset(base));
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 9: cumulative distributions of (a) iteration time and (b) computation
+// ratio across the 80-job workload at DoP 16.
+//
+// Paper shape: iteration times spread over ~1-20 minutes; comp ratios spread
+// widely between ~0.1 and ~0.9.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace harmony;
+  const auto catalog = exp::make_catalog();
+
+  SampleSet itr_minutes;
+  SampleSet comp_ratio;
+  for (const auto& s : catalog) {
+    itr_minutes.add(s.profile().t_itr(16) / 60.0);
+    comp_ratio.add(s.profile().comp_ratio(16));
+  }
+
+  bench::print_header("Fig. 9a: CDF of iteration time (minutes, DoP 16)");
+  std::fputs(itr_minutes.cdf_table(15).c_str(), stdout);
+  std::printf("min %.1f  median %.1f  max %.1f minutes\n", itr_minutes.min(),
+              itr_minutes.quantile(0.5), itr_minutes.max());
+
+  bench::print_header("Fig. 9b: CDF of computation time / iteration time");
+  std::fputs(comp_ratio.cdf_table(15).c_str(), stdout);
+  std::printf("min %.2f  median %.2f  max %.2f\n", comp_ratio.min(),
+              comp_ratio.quantile(0.5), comp_ratio.max());
+  return 0;
+}

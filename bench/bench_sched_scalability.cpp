@@ -1,0 +1,66 @@
+// §V-F scheduling-algorithm scalability (google-benchmark): Harmony's
+// Algorithm 1 from 80 jobs/100 machines up to 8K jobs/10K machines, against
+// the exponential exhaustive search at small sizes.
+//
+// Paper: Harmony schedules 80 jobs on 100 machines in ~1.2 s and 8K jobs on
+// 10K machines within 5 s; the oracle takes minutes-to-hours.
+#include <benchmark/benchmark.h>
+
+#include "baselines/oracle.h"
+#include "common/rng.h"
+#include "harmony/scheduler.h"
+
+using namespace harmony;
+
+namespace {
+
+std::vector<core::SchedJob> synthetic_pool(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::SchedJob> jobs;
+  jobs.reserve(n);
+  for (core::JobId i = 0; i < n; ++i)
+    jobs.push_back(core::SchedJob{
+        i, core::JobProfile{rng.uniform(400, 8000), rng.uniform(20, 400)}});
+  return jobs;
+}
+
+void BM_HarmonySchedule(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  const auto pool = synthetic_pool(jobs, 7);
+  core::Scheduler scheduler;
+  for (auto _ : state) {
+    auto decision = scheduler.schedule(pool, machines);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel(std::to_string(jobs) + " jobs / " + std::to_string(machines) + " machines");
+}
+
+void BM_OracleSchedule(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto pool = synthetic_pool(jobs, 7);
+  baselines::OracleScheduler oracle;
+  for (auto _ : state) {
+    auto decision = oracle.schedule(pool, 32);
+    benchmark::DoNotOptimize(decision);
+  }
+  state.SetLabel(std::to_string(jobs) + " jobs (exhaustive)");
+}
+
+}  // namespace
+
+BENCHMARK(BM_HarmonySchedule)
+    ->Args({80, 100})      // the paper's main setting
+    ->Args({500, 1000})
+    ->Args({2000, 4000})
+    ->Args({8000, 10000})  // the paper's datacenter-scale emulation
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_OracleSchedule)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table I: the evaluation workload — applications, datasets, input/model
+// sizes, and job counts per (app, dataset) pair.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace harmony;
+  const auto catalog = exp::make_catalog();
+  bench::print_header("Table I: workloads used for evaluation");
+  std::fputs(exp::table1(catalog).c_str(), stdout);
+
+  // Supplementary: per-family iteration-time and comp-ratio bands at DoP 16.
+  TextTable bands({"App", "t_itr@16 min..max (s)", "comp ratio min..max", "iterations"});
+  for (const char* app : {"NMF", "LDA", "MLR", "Lasso"}) {
+    double itr_lo = 1e300, itr_hi = 0.0, r_lo = 1.0, r_hi = 0.0;
+    std::size_t it_lo = SIZE_MAX, it_hi = 0;
+    for (const auto& s : catalog) {
+      if (s.app != app) continue;
+      const auto p = s.profile();
+      itr_lo = std::min(itr_lo, p.t_itr(16));
+      itr_hi = std::max(itr_hi, p.t_itr(16));
+      r_lo = std::min(r_lo, p.comp_ratio(16));
+      r_hi = std::max(r_hi, p.comp_ratio(16));
+      it_lo = std::min(it_lo, s.iterations);
+      it_hi = std::max(it_hi, s.iterations);
+    }
+    bands.add_row({app,
+                   TextTable::format_double(itr_lo, 0) + " .. " +
+                       TextTable::format_double(itr_hi, 0),
+                   TextTable::format_double(r_lo, 2) + " .. " + TextTable::format_double(r_hi, 2),
+                   std::to_string(it_lo) + " .. " + std::to_string(it_hi)});
+  }
+  std::fputs(bands.render().c_str(), stdout);
+  return 0;
+}

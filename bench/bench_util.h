@@ -1,0 +1,43 @@
+// Shared helpers for the figure/table reproduction drivers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/metrics.h"
+#include "exp/workload.h"
+
+namespace harmony::bench {
+
+struct RunResult {
+  exp::RunSummary summary;
+  core::Utilization avg_util;
+  double mean_jct = 0.0;
+  double makespan = 0.0;
+};
+
+// Runs one policy over a workload and collects the headline numbers.
+inline RunResult run(exp::ClusterSimConfig config, const std::vector<exp::WorkloadSpec>& jobs,
+                     const std::vector<double>& arrivals) {
+  exp::ClusterSim sim(config, jobs, arrivals);
+  RunResult r;
+  r.summary = sim.run();
+  r.avg_util = r.summary.avg_util;
+  r.mean_jct = r.summary.mean_jct();
+  r.makespan = r.summary.makespan;
+  return r;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline double speedup(double baseline, double value) {
+  return value > 0.0 ? baseline / value : 0.0;
+}
+
+}  // namespace harmony::bench

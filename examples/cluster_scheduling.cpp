@@ -1,0 +1,58 @@
+// Cluster-scale scheduling walkthrough: drives the full scheduling stack —
+// profiler, performance model, Algorithm 1, dynamic regrouping and the
+// spill/reload manager — over a 20-job workload on a simulated 40-machine
+// cluster, then prints what the scheduler decided and how the cluster did.
+//
+// This is the simulation path the evaluation benches use; see
+// examples/quickstart.cpp and examples/multi_job_colocation.cpp for the real
+// threaded runtime.
+#include <cstdio>
+
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+
+using namespace harmony;
+
+int main() {
+  // A 20-job slice of the paper's 80-job catalog, arriving as a Poisson
+  // stream with 2-minute mean inter-arrival time.
+  auto catalog = exp::make_catalog();
+  std::vector<exp::WorkloadSpec> workload;
+  for (std::size_t i = 0; i < catalog.size() && workload.size() < 20; i += 4)
+    workload.push_back(catalog[i]);
+  const auto arrivals = exp::poisson_arrivals(workload.size(), 120.0, 11);
+
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 40;
+
+  std::printf("scheduling %zu jobs onto %zu machines (Poisson arrivals)...\n",
+              workload.size(), config.machines);
+  exp::ClusterSim sim(config, workload, arrivals);
+  const auto summary = sim.run();
+
+  std::printf("\nall %zu jobs finished; makespan %.1f h, mean JCT %.1f h\n",
+              summary.jobs.size(), summary.makespan / 3600.0,
+              summary.mean_jct() / 3600.0);
+  std::printf("cluster utilization: CPU %.1f%%, network %.1f%%\n",
+              100.0 * summary.avg_util.cpu, 100.0 * summary.avg_util.net);
+  std::printf("on average %.1f jobs co-ran in %.1f groups\n", sim.avg_concurrent_jobs(),
+              sim.avg_concurrent_groups());
+  std::printf("scheduler invoked %zu times, %.1f ms wall total\n", sim.sched_invocations(),
+              1000.0 * sim.total_sched_seconds());
+  std::printf("regroup events: %zu; migration pause total %.1f min; GC share %.2f%%; "
+              "OOM events: %zu\n",
+              summary.regroup_events, summary.migration_overhead_sec / 60.0,
+              100.0 * summary.gc_time_fraction, summary.oom_events);
+
+  const auto alpha = sim.alpha_stats();
+  std::printf("disk-spill ratios: mean %.2f (min %.2f, max %.2f)\n", alpha.mean, alpha.min,
+              alpha.max);
+
+  std::printf("\nmodel accuracy over this run: group iteration time err p50 %.1f%%\n",
+              100.0 * sim.prediction_errors().group_iteration_rel_error.quantile(0.5));
+
+  std::printf("\nutilization timeline (10 samples):\n%s",
+              sim.timeline().tsv(10).c_str());
+  return 0;
+}

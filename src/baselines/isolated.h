@@ -1,0 +1,39 @@
+// Isolated baseline (§V-A): every job runs alone on a dedicated, disjoint set
+// of machines — the Optimus/SLAQ-style allocation. The policy maximizes each
+// job's CPU utilization (the quantity that actually advances training) by
+// keeping DoP low enough that COMP dominates COMM, and queues jobs FIFO when
+// machines run out.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harmony/scheduler.h"
+
+namespace harmony::baselines {
+
+class IsolatedScheduler {
+ public:
+  struct Params {
+    // A job's DoP is the largest m with t_cpu(m) >= cpu_bias * t_net: raising
+    // the bias trades parallelism for CPU utilization.
+    double cpu_bias = 1.5;
+    std::size_t max_machines_per_job = 32;
+  };
+
+  IsolatedScheduler() : IsolatedScheduler(Params{}) {}
+  explicit IsolatedScheduler(Params params) : params_(params) {}
+
+  // Largest DoP that keeps the job CPU-dominant (>= 1).
+  std::size_t pick_dop(const core::JobProfile& profile) const;
+
+  // Greedily places jobs (queue order) onto `machines`; jobs that don't fit
+  // are left out of the decision (they wait). Every group holds one job.
+  core::ScheduleDecision schedule(std::span<const core::SchedJob> jobs,
+                                  std::size_t machines) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace harmony::baselines

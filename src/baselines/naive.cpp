@@ -1,0 +1,47 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+namespace harmony::baselines {
+
+core::ScheduleDecision NaiveScheduler::schedule(std::span<const core::SchedJob> jobs,
+                                                std::size_t machines,
+                                                std::uint64_t seed) const {
+  core::ScheduleDecision decision;
+  if (jobs.empty() || machines == 0) return decision;
+
+  std::vector<core::SchedJob> shuffled(jobs.begin(), jobs.end());
+  Rng rng(seed);
+  rng.shuffle(shuffled);
+
+  const std::size_t per_group = std::max<std::size_t>(1, params_.jobs_per_group);
+  const std::size_t num_groups =
+      std::min(machines, (shuffled.size() + per_group - 1) / per_group);
+
+  std::vector<std::vector<core::SchedJob>> groups(num_groups);
+  for (std::size_t i = 0; i < shuffled.size(); ++i)
+    groups[i / per_group % num_groups].push_back(shuffled[i]);
+
+  // Even machine split, remainder to the front groups.
+  const std::size_t base = machines / num_groups;
+  const std::size_t extra = machines % num_groups;
+
+  std::vector<core::GroupShape> shapes;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    core::GroupPlan plan;
+    plan.machines = base + (g < extra ? 1 : 0);
+    core::GroupShape shape;
+    shape.machines = plan.machines;
+    for (const core::SchedJob& j : groups[g]) {
+      plan.jobs.push_back(j.id);
+      shape.jobs.push_back(j.profile);
+      ++decision.jobs_scheduled;
+    }
+    decision.groups.push_back(std::move(plan));
+    shapes.push_back(std::move(shape));
+  }
+  decision.predicted_util = core::PerfModel::cluster_utilization(shapes);
+  return decision;
+}
+
+}  // namespace harmony::baselines

@@ -1,0 +1,34 @@
+// Naive co-location baseline (§V-A): jobs share machine pools without any
+// subtask coordination or model-driven grouping — the Gandiva-style black-box
+// approach. Groupings are arbitrary (seeded shuffles); the evaluation runs
+// many of them and reports best/average/worst, exactly as the paper does.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "harmony/scheduler.h"
+
+namespace harmony::baselines {
+
+class NaiveScheduler {
+ public:
+  struct Params {
+    // Co-location degree: how many jobs share one machine pool.
+    std::size_t jobs_per_group = 3;
+  };
+
+  NaiveScheduler() : NaiveScheduler(Params{}) {}
+  explicit NaiveScheduler(Params params) : params_(params) {}
+
+  // Shuffles jobs with `seed` and chops them into groups of jobs_per_group;
+  // machines are split evenly. Different seeds give the different "possible
+  // cases" whose best/worst the paper reports.
+  core::ScheduleDecision schedule(std::span<const core::SchedJob> jobs, std::size_t machines,
+                                  std::uint64_t seed) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace harmony::baselines

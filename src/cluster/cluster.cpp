@@ -1,0 +1,49 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace harmony::cluster {
+
+Cluster::Cluster(std::size_t n, MachineSpec spec) : spec_(spec) {
+  machines_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    machines_.push_back(Machine{static_cast<MachineId>(i), spec});
+  owners_.assign(n, kUnassigned);
+}
+
+std::size_t Cluster::free_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(owners_.begin(), owners_.end(), kUnassigned));
+}
+
+std::optional<std::vector<MachineId>> Cluster::allocate(std::size_t n, GroupId group) {
+  assert(group != kUnassigned);
+  if (free_count() < n) return std::nullopt;
+  std::vector<MachineId> granted;
+  granted.reserve(n);
+  for (MachineId id = 0; id < owners_.size() && granted.size() < n; ++id) {
+    if (owners_[id] == kUnassigned) {
+      owners_[id] = group;
+      granted.push_back(id);
+    }
+  }
+  return granted;
+}
+
+void Cluster::release(const std::vector<MachineId>& ids, GroupId group) {
+  for (MachineId id : ids) {
+    assert(owners_.at(id) == group && "releasing a machine owned by another group");
+    (void)group;
+    owners_[id] = kUnassigned;
+  }
+}
+
+std::vector<MachineId> Cluster::machines_of(GroupId group) const {
+  std::vector<MachineId> out;
+  for (MachineId id = 0; id < owners_.size(); ++id)
+    if (owners_[id] == group) out.push_back(id);
+  return out;
+}
+
+}  // namespace harmony::cluster

@@ -1,0 +1,47 @@
+// Cluster: the pool of machines a scheduler hands out to job groups.
+//
+// Allocation is tracked per machine so the experiment harness can render
+// machine-level utilization and so migration can move groups between disjoint
+// machine sets exactly as Harmony's master does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/machine.h"
+
+namespace harmony::cluster {
+
+using GroupId = std::uint32_t;
+constexpr GroupId kUnassigned = UINT32_MAX;
+
+class Cluster {
+ public:
+  // A homogeneous cluster of `n` machines (the paper's setting).
+  Cluster(std::size_t n, MachineSpec spec = {});
+
+  std::size_t size() const noexcept { return machines_.size(); }
+  const MachineSpec& spec() const noexcept { return spec_; }
+  const Machine& machine(MachineId id) const { return machines_.at(id); }
+
+  std::size_t free_count() const noexcept;
+
+  // Claims `n` free machines for `group`; returns nullopt (and changes
+  // nothing) if fewer than `n` are free.
+  std::optional<std::vector<MachineId>> allocate(std::size_t n, GroupId group);
+
+  // Returns machines to the free pool. It is an error (assert) to release a
+  // machine a different group owns.
+  void release(const std::vector<MachineId>& ids, GroupId group);
+
+  GroupId owner(MachineId id) const { return owners_.at(id); }
+  std::vector<MachineId> machines_of(GroupId group) const;
+
+ private:
+  MachineSpec spec_;
+  std::vector<Machine> machines_;
+  std::vector<GroupId> owners_;
+};
+
+}  // namespace harmony::cluster

@@ -1,0 +1,15 @@
+#include "cluster/machine.h"
+
+#include <sstream>
+
+namespace harmony::cluster {
+
+std::string describe(const MachineSpec& spec) {
+  std::ostringstream out;
+  out << spec.cores << "c/" << spec.memory_bytes / kGiB << "GiB/"
+      << spec.nic_bytes_per_sec / kMiB << "MiBps-net/" << spec.disk_bytes_per_sec / kMiB
+      << "MiBps-disk";
+  return out.str();
+}
+
+}  // namespace harmony::cluster

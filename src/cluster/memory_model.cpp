@@ -1,0 +1,4 @@
+#include "cluster/memory_model.h"
+
+// Header-only today; this TU anchors the library target and keeps room for
+// calibration tables without touching the public header.

@@ -1,0 +1,64 @@
+// Managed-runtime memory-pressure model.
+//
+// The paper runs on the JVM, where two failure modes motivate the spill/reload
+// mechanism (§II-B, §IV-C): garbage-collection overhead grows as the heap
+// fills, and exceeding the heap kills the job with an OOM error. We model GC
+// overhead as a multiplicative slowdown on compute that is 1 below a pressure
+// threshold and grows superlinearly as occupancy approaches 1:
+//
+//     slowdown(occ) = 1 + k * ((occ - θ)⁺ / (1 - occ + ε))²
+//
+// This gives the α hill-climber a smooth but sharply-rising cost for keeping
+// too much data resident, matching the paper's observation that "when α is too
+// low, GC explodes" (§V-G).
+#pragma once
+
+#include <algorithm>
+
+namespace harmony::cluster {
+
+struct MemoryModelParams {
+  // Occupancy where GC overhead becomes measurable. JVM collectors typically
+  // stay cheap until the old generation passes ~70 % of the heap.
+  double gc_threshold = 0.70;
+  // Scales how fast the slowdown grows past the threshold (at occupancy 0.93
+  // the default curve costs ~1.6x, approaching ~4x right at the OOM edge).
+  double gc_steepness = 0.35;
+  // Keeps the slowdown finite exactly at occupancy 1.
+  double epsilon = 0.10;
+  // Occupancy above which allocation fails (OOM). The slack below 1.0
+  // reflects non-heap overheads (metaspace, direct buffers, OS).
+  double oom_occupancy = 0.95;
+
+  bool operator==(const MemoryModelParams&) const = default;
+};
+
+class MemoryModel {
+ public:
+  explicit MemoryModel(MemoryModelParams params = {}) : params_(params) {}
+
+  // Multiplicative compute slowdown at `occupancy` = resident/capacity.
+  double gc_slowdown(double occupancy) const noexcept {
+    const double occ = std::clamp(occupancy, 0.0, 1.0);
+    const double over = occ - params_.gc_threshold;
+    if (over <= 0.0) return 1.0;
+    const double ratio = over / (1.0 - occ + params_.epsilon);
+    return 1.0 + params_.gc_steepness * ratio * ratio;
+  }
+
+  // Fraction of wall time lost to GC at `occupancy` (reported like the paper's
+  // "GC time during execution").
+  double gc_time_fraction(double occupancy) const noexcept {
+    const double s = gc_slowdown(occupancy);
+    return 1.0 - 1.0 / s;
+  }
+
+  bool oom(double occupancy) const noexcept { return occupancy > params_.oom_occupancy; }
+
+  const MemoryModelParams& params() const noexcept { return params_; }
+
+ private:
+  MemoryModelParams params_;
+};
+
+}  // namespace harmony::cluster

@@ -1,0 +1,62 @@
+// Minimal leveled logger used across the Harmony libraries.
+//
+// The logger writes to stderr and is safe to call from multiple threads; each
+// log line is assembled in a local buffer and emitted with a single write so
+// lines from concurrent threads never interleave.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace harmony::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets the global minimum level; messages below it are dropped. Thread-safe.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+// Emits one formatted log line (used by the Logger helper below).
+void emit(Level level, std::string_view message);
+
+namespace detail {
+
+// Stream-style log-line builder; flushes on destruction.
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+// Sink that swallows everything when the level is disabled.
+struct NullBuilder {
+  template <typename T>
+  NullBuilder& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+inline bool enabled(Level l) noexcept { return l >= level(); }
+
+}  // namespace harmony::log
+
+// Usage: HLOG(kInfo) << "scheduled " << n << " jobs";
+#define HLOG(severity)                                                \
+  if (!::harmony::log::enabled(::harmony::log::Level::severity)) {   \
+  } else                                                              \
+    ::harmony::log::detail::LineBuilder(::harmony::log::Level::severity)

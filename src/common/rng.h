@@ -1,0 +1,79 @@
+// Deterministic random-number utilities. Every stochastic component in the
+// simulator takes an explicit Rng so experiments are reproducible from a seed.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace harmony {
+
+// Thin wrapper over mt19937_64 with the distributions the project needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  // Splits off an independent stream; used to give each job/machine its own
+  // generator so adding one component does not perturb the draws of another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Multiplicative noise factor with E[x] = 1; cv is the coefficient of
+  // variation. Used to jitter subtask durations in the simulator.
+  double lognormal_noise(double cv) {
+    if (cv <= 0.0) return 1.0;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = -0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+  }
+
+  double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Zipf-distributed integer in [0, n). Used by the bag-of-words generator to
+  // mimic natural-language token frequencies.
+  std::size_t zipf(std::size_t n, double exponent) {
+    // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for our
+    // sizes; a cached CDF per (n, exponent) would cost memory per call site.
+    // We use the simple inverse-power transform approximation, which matches
+    // a Zipf tail closely enough for workload shaping.
+    assert(n > 0);
+    const double u = uniform(std::nextafter(0.0, 1.0), 1.0);
+    const double x = std::pow(u, -1.0 / exponent);  // Pareto(>1)
+    const auto idx = static_cast<std::size_t>(x - 1.0);
+    return idx < n ? idx : n - 1;
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace harmony

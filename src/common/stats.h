@@ -1,0 +1,101 @@
+// Online statistics used by the profiler and the experiment harness.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <limits>
+
+namespace harmony {
+
+// Welford's online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponentially-weighted moving average. The paper's profiler keeps subtask
+// times "updated using moving averages" (§IV-B1); this is that primitive.
+class MovingAverage {
+ public:
+  // `alpha` is the weight of a new sample; alpha=1 keeps only the last value.
+  explicit MovingAverage(double alpha = 0.3) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double x) noexcept {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (x - value_);
+    }
+    ++count_;
+  }
+
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+  std::size_t count() const noexcept { return count_; }
+
+  void reset() noexcept {
+    initialized_ = false;
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  std::size_t count_ = 0;
+};
+
+// Fixed-capacity sliding-window mean; used where a bounded memory footprint
+// matters (per-subtask traces on workers).
+class WindowedAverage {
+ public:
+  explicit WindowedAverage(std::size_t capacity) : capacity_(capacity) { assert(capacity > 0); }
+
+  void add(double x) {
+    window_.push_back(x);
+    sum_ += x;
+    if (window_.size() > capacity_) {
+      sum_ -= window_.front();
+      window_.pop_front();
+    }
+  }
+
+  std::size_t size() const noexcept { return window_.size(); }
+  bool empty() const noexcept { return window_.empty(); }
+  double mean() const noexcept {
+    return window_.empty() ? 0.0 : sum_ / static_cast<double>(window_.size());
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+};
+
+// Relative error |a-b| / max(|b|, eps); the paper's 5 % similarity and benefit
+// thresholds are expressed with this.
+double relative_error(double actual, double reference, double eps = 1e-12) noexcept;
+
+}  // namespace harmony

@@ -1,0 +1,31 @@
+// Plain-text table printer: the bench binaries print paper tables/figure data
+// in aligned columns so `bench_output.txt` is directly readable.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for mixed numeric rows; values are formatted with
+  // `precision` significant decimal digits.
+  void add_numeric_row(const std::string& label, std::initializer_list<double> values,
+                       int precision = 3);
+
+  std::string render() const;
+
+  static std::string format_double(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harmony

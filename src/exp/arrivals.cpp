@@ -1,0 +1,58 @@
+#include "exp/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace harmony::exp {
+
+std::vector<double> batch_arrivals(std::size_t n) { return std::vector<double>(n, 0.0); }
+
+std::vector<double> poisson_arrivals(std::size_t n, double mean_interarrival_sec,
+                                     std::uint64_t seed) {
+  if (mean_interarrival_sec <= 0.0) return batch_arrivals(n);
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    arrivals.push_back(t);
+    t += rng.exponential(mean_interarrival_sec);
+  }
+  return arrivals;
+}
+
+std::vector<double> trace_arrivals(std::size_t n, double mean_interarrival_sec,
+                                   std::uint64_t seed) {
+  if (mean_interarrival_sec <= 0.0) return batch_arrivals(n);
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(n);
+
+  // Bursts: geometric size (mean ~4), jobs inside a burst land within a few
+  // seconds; gaps between bursts are Pareto (alpha = 1.5) scaled to preserve
+  // the requested mean inter-arrival time overall.
+  const double burst_mean = 4.0;
+  const double gap_mean = mean_interarrival_sec * burst_mean;
+  const double pareto_alpha = 1.5;
+  const double pareto_xm = gap_mean * (pareto_alpha - 1.0) / pareto_alpha;
+
+  double t = 0.0;
+  while (arrivals.size() < n) {
+    std::size_t burst = 1;
+    while (rng.bernoulli(1.0 - 1.0 / burst_mean)) ++burst;
+    for (std::size_t k = 0; k < burst && arrivals.size() < n; ++k) {
+      arrivals.push_back(t + rng.uniform(0.0, 5.0));
+    }
+    const double u = rng.uniform(1e-9, 1.0);
+    t += pareto_xm / std::pow(u, 1.0 / pareto_alpha);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  // Normalize so the first job arrives at t = 0.
+  const double t0 = arrivals.front();
+  for (double& a : arrivals) a -= t0;
+  return arrivals;
+}
+
+}  // namespace harmony::exp

@@ -1,0 +1,22 @@
+// Job arrival processes for the §V-D sensitivity study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace harmony::exp {
+
+// All jobs at t = 0 (the main §V-C experiment).
+std::vector<double> batch_arrivals(std::size_t n);
+
+// Poisson process: exponential inter-arrival times with the given mean (sec).
+std::vector<double> poisson_arrivals(std::size_t n, double mean_interarrival_sec,
+                                     std::uint64_t seed);
+
+// Google-cluster-trace-shaped arrivals: bursts of geometrically-many jobs
+// separated by heavy-tailed (Pareto) gaps — "more diverse pattern of arrivals
+// and job arrival spikes" than Poisson.
+std::vector<double> trace_arrivals(std::size_t n, double mean_interarrival_sec,
+                                   std::uint64_t seed);
+
+}  // namespace harmony::exp

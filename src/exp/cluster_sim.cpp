@@ -1,0 +1,1341 @@
+#include "exp/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <execinfo.h>
+
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace harmony::exp {
+
+namespace {
+constexpr double kOomSlowdownCap = 8.0;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config presets
+
+ClusterSimConfig ClusterSimConfig::isolated() {
+  ClusterSimConfig c;
+  c.exec = ExecModel::kPipelined;
+  c.grouping = GroupingPolicy::kIsolated;
+  c.spill_enabled = false;
+  return c;
+}
+
+ClusterSimConfig ClusterSimConfig::naive(std::uint64_t grouping_seed) {
+  ClusterSimConfig c;
+  c.exec = ExecModel::kContended;
+  c.grouping = GroupingPolicy::kRandom;
+  c.spill_enabled = false;
+  c.naive_grouping_seed = grouping_seed;
+  return c;
+}
+
+ClusterSimConfig ClusterSimConfig::harmony() { return ClusterSimConfig{}; }
+
+// ---------------------------------------------------------------------------
+// Internal structures
+
+struct ClusterSim::SimJob {
+  WorkloadSpec spec;
+  bool arrived = false;  // submission event has fired
+  core::JobState state = core::JobState::kWaiting;
+  std::size_t iterations_done = 0;
+  std::size_t profile_iterations = 0;
+  std::size_t iters_in_group = 0;
+  double submit_time = 0.0;
+  double finish_time = -1.0;
+
+  GroupRun* group = nullptr;
+  GroupRun* last_group = nullptr;  // group the job most recently left
+  bool in_flight = false;          // an iteration's subtasks are in the pipeline
+  double alpha = 0.0;
+  bool model_spilled = false;
+  double reload_ready_at = 0.0;
+  double iter_start_time = 0.0;
+  // Systematic profile-error factors for Fig. 13a (1.0 = exact).
+  double err_cpu = 1.0;
+  double err_net = 1.0;
+  Rng noise;
+
+  explicit SimJob(Rng rng) : noise(rng) {}
+};
+
+struct ClusterSim::GroupRun {
+  std::size_t id = 0;
+  std::vector<core::JobId> members;  // includes profiling visitors
+  std::size_t machines = 0;
+  bool stopping = false;
+  bool dissolved = false;
+  bool oom_recorded = false;
+  std::size_t active_members = 0;  // jobs currently cycling through subtasks
+
+  std::unique_ptr<sim::FifoResource> cpu_fifo;
+  std::unique_ptr<sim::FifoResource> net_fifo;
+  std::unique_ptr<sim::SharedResource> cpu_shared;
+  std::unique_ptr<sim::SharedResource> net_shared;
+
+  // Group-level spill control (§IV-C): one hill-climbed occupancy target per
+  // group; every member's α is the smallest ratio fitting that target, so
+  // ratios stay per-job while the climb is coordinated.
+  std::optional<core::AlphaController> occ_ctl;
+  WindowedAverage recent_walls{8};
+  std::size_t iters_since_alpha_update = 0;
+
+  // Utilization sampling state.
+  double last_cpu_busy = 0.0;
+  double last_net_busy = 0.0;
+
+  // Prediction bookkeeping (Fig. 13b).
+  double predicted_titr = 0.0;
+  core::Utilization predicted_util;
+  double predict_start = 0.0;
+  double cpu_busy_at_predict = 0.0;
+  double net_busy_at_predict = 0.0;
+  SampleSet actual_iteration_times;
+
+  double cpu_busy() const {
+    return cpu_fifo ? cpu_fifo->busy_time() : cpu_shared->work_completed();
+  }
+  double net_busy() const {
+    return net_fifo ? net_fifo->busy_time() : net_shared->work_completed();
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+ClusterSim::ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> workload,
+                       std::vector<double> arrival_times)
+    : config_(config),
+      arrivals_(std::move(arrival_times)),
+      memory_model_(config.memory_params),
+      spill_model_(config.spill_costs),
+      scheduler_(config.scheduler),
+      regrouper_(scheduler_, config.regrouper),
+      isolated_(),
+      naive_(baselines::NaiveScheduler::Params{config.naive_jobs_per_group}),
+      profiler_(core::Profiler::Params{0.3, config.profiling_iterations}),
+      rng_(config.seed),
+      timeline_(config.util_sample_window_sec),
+      free_machines_(config.machines) {
+  if (arrivals_.size() != workload.size())
+    throw std::invalid_argument("ClusterSim: arrivals/workload size mismatch");
+  jobs_.reserve(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    auto job = std::make_unique<SimJob>(rng_.fork());
+    job->spec = workload[i];
+    job->spec.id = static_cast<core::JobId>(i);
+    job->submit_time = arrivals_[i];
+    if (config_.model_error_injection > 0.0) {
+      const double e = config_.model_error_injection;
+      job->err_cpu = 1.0 + rng_.uniform(-e, e);
+      job->err_net = 1.0 + rng_.uniform(-e, e);
+    }
+    jobs_.push_back(std::move(job));
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+// ---------------------------------------------------------------------------
+// Memory / spill
+
+double ClusterSim::job_resident_bytes(const SimJob& job, std::size_t machines) const {
+  const core::SpillCosts c = spill_model_.costs(job.spec.input_bytes(), job.spec.model_bytes(),
+                                                job.alpha, machines, config_.machine_spec);
+  double resident = c.resident_bytes;
+  if (job.model_spilled) {
+    // Model spill keeps only a small working window of the model resident;
+    // the rest streams through the reload path charged in comp_duration.
+    constexpr double kModelSpillEvicted = 0.85;
+    resident -= kModelSpillEvicted * job.spec.model_bytes() *
+                spill_model_.params().model_mem_expansion / static_cast<double>(machines);
+  }
+  return std::max(resident, 0.0);
+}
+
+double ClusterSim::group_occupancy(const GroupRun& group) const {
+  double resident = 0.0;
+  for (core::JobId id : group.members)
+    resident += job_resident_bytes(*jobs_[id], group.machines);
+  return resident / config_.machine_spec.memory_bytes;
+}
+
+bool ClusterSim::fits_without_spill(const GroupRun& group, const SimJob& job) const {
+  if (config_.spill_enabled || config_.grouping != GroupingPolicy::kHarmony) return true;
+  double resident = job.spec.resident_bytes(group.machines, 0.0);
+  for (core::JobId id : group.members)
+    resident += jobs_[id]->spec.resident_bytes(group.machines, 0.0);
+  return resident <= 0.9 * config_.machine_spec.memory_bytes;
+}
+
+void ClusterSim::place_fallback_isolated(SimJob& job) {
+  if (job.group != nullptr || job.state == core::JobState::kFinished) return;
+  const std::size_t need = job.spec.min_machines_without_spill(config_.machine_spec);
+  if (need > free_machines_) return;
+  GroupRun& g = create_group({}, need);
+  place_job_in_group(job, g, /*with_migration_delay=*/true);
+  group_dops_.add(static_cast<double>(need));
+  group_sizes_.add(1.0);
+  record_group_prediction(g);
+}
+
+void ClusterSim::refresh_alpha(SimJob& job, bool initialize) {
+  if (!config_.spill_enabled || job.group == nullptr) {
+    job.alpha = 0.0;
+    job.model_spilled = false;
+    return;
+  }
+  const std::size_t m = job.group->machines;
+  if (config_.fixed_alpha) {
+    job.alpha = std::clamp(*config_.fixed_alpha, 0.0, 1.0);
+    const double share =
+        config_.machine_spec.memory_bytes /
+        std::max<double>(1.0, static_cast<double>(job.group->members.size()));
+    const core::SpillCosts at_cur = spill_model_.costs(
+        job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, m, config_.machine_spec);
+    job.model_spilled = job.alpha >= 0.999 &&
+                        at_cur.resident_bytes > config_.memory_params.gc_threshold * share;
+    return;
+  }
+  const double share = config_.machine_spec.memory_bytes /
+                       std::max<double>(1.0, static_cast<double>(job.group->members.size()));
+  (void)initialize;
+  // α is the smallest ratio whose resident footprint fits the group's
+  // current occupancy target (per-job ratios, coordinated target, §IV-C).
+  const double target = job.group->occ_ctl ? job.group->occ_ctl->alpha()
+                                           : config_.alpha_floor_occupancy;
+  cluster::MemoryModelParams floor_params = config_.memory_params;
+  floor_params.gc_threshold = target;
+  job.alpha = core::AlphaController::initial_alpha(job.spec.input_bytes(),
+                                                   job.spec.model_bytes(), m, share,
+                                                   floor_params, spill_model_,
+                                                   config_.machine_spec);
+  // If even α = 1 overflows this job's share, spill model data too (§V-G:
+  // "Harmony enables spill/reload of model data for those jobs").
+  const core::SpillCosts at_one = spill_model_.costs(
+      job.spec.input_bytes(), job.spec.model_bytes(), 1.0, m, config_.machine_spec);
+  job.model_spilled =
+      job.alpha >= 0.999 && at_one.resident_bytes > config_.memory_params.gc_threshold * share;
+}
+
+// ---------------------------------------------------------------------------
+// Job pipeline
+
+double ClusterSim::comm_half_duration(SimJob& job) {
+  return 0.5 * job.spec.t_net * job.noise.lognormal_noise(config_.subtask_noise_cv);
+}
+
+double ClusterSim::comp_duration(SimJob& job) {
+  GroupRun& g = *job.group;
+  const double base = job.spec.cpu_work / static_cast<double>(g.machines);
+  const double occ = group_occupancy(g);
+
+  double gc = memory_model_.gc_slowdown(occ);
+  if (memory_model_.oom(occ)) {
+    if (!g.oom_recorded) {
+      g.oom_recorded = true;
+      summary_.oom_events++;
+      if (config_.debug_trace)
+        std::fprintf(stderr, "OOM: group %zu members=%zu machines=%zu occ=%.3f\n", g.id,
+                     g.members.size(), g.machines, occ);
+    }
+    gc = kOomSlowdownCap;  // thrashing instead of a hard kill keeps jobs comparable
+  }
+  gc = std::min(gc, kOomSlowdownCap);
+  gc_lost_seconds_ += base * (gc - 1.0);
+  comp_base_seconds_ += base;
+
+  const core::SpillCosts costs = spill_model_.costs(
+      job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, g.machines,
+      config_.machine_spec);
+  double extra = costs.deserialize_seconds;
+  if (job.model_spilled) {
+    // Model reload+deserialize rides on the compute path.
+    const double model_raw = job.spec.model_bytes() / static_cast<double>(g.machines);
+    extra += model_raw / config_.machine_spec.disk_bytes_per_sec +
+             model_raw * spill_model_.params().deserialize_sec_per_byte;
+  }
+  return (base * gc + extra) * job.noise.lognormal_noise(config_.subtask_noise_cv);
+}
+
+void ClusterSim::start_iteration(SimJob& job) {
+  GroupRun& g = *job.group;
+  if (job.in_flight) {
+    std::fprintf(stderr, "start_iteration: job %u already in flight (state=%s)\n",
+                 job.spec.id, core::to_string(job.state));
+    std::abort();
+  }
+  job.in_flight = true;
+  job.iter_start_time = sim_.now();
+  const double d_pull = comm_half_duration(job);
+  auto next = [this, &job, d_pull] { begin_comp(job, d_pull); };
+  if (g.net_fifo) {
+    g.net_fifo->submit(d_pull, next);
+  } else {
+    g.net_shared->submit(d_pull, next);
+  }
+}
+
+void ClusterSim::begin_comp(SimJob& job, double pull_duration) {
+  GroupRun& g = *job.group;
+  auto submit = [this, &job, &g, pull_duration] {
+    const double d_comp = comp_duration(job);
+    auto next = [this, &job, pull_duration, d_comp] {
+      begin_push(job, pull_duration, d_comp);
+    };
+    if (g.cpu_fifo) {
+      g.cpu_fifo->submit(d_comp, next);
+    } else {
+      g.cpu_shared->submit(d_comp, next);
+    }
+  };
+  // The COMP subtask cannot start until this job's disk-side blocks for the
+  // iteration have been reloaded (they stream in the background since the
+  // last COMP ended).
+  if (sim_.now() < job.reload_ready_at) {
+    sim_.schedule_at(job.reload_ready_at, submit);
+  } else {
+    submit();
+  }
+}
+
+void ClusterSim::begin_push(SimJob& job, double pull_duration, double comp_dur) {
+  if (job.group == nullptr) {
+    std::fprintf(stderr, "begin_push: job %u state=%s iters=%zu/%zu in_group=%zu\n",
+                 job.spec.id, core::to_string(job.state), job.iterations_done,
+                 job.spec.iterations, job.iters_in_group);
+    std::abort();
+  }
+  GroupRun& g = *job.group;
+  // Background reload for the next iteration starts now; co-located spilling
+  // jobs share the disk.
+  std::size_t spilling = 0;
+  for (core::JobId id : g.members)
+    if (jobs_[id]->alpha > 0.0) ++spilling;
+  const core::SpillCosts costs = spill_model_.costs(
+      job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, g.machines,
+      config_.machine_spec);
+  job.reload_ready_at =
+      sim_.now() + costs.reload_seconds * static_cast<double>(std::max<std::size_t>(1, spilling));
+
+  const double d_push = comm_half_duration(job);
+  auto next = [this, &job, pull_duration, comp_dur, d_push] {
+    end_iteration(job, pull_duration + d_push, comp_dur);
+  };
+  if (g.net_fifo) {
+    g.net_fifo->submit(d_push, next);
+  } else {
+    g.net_shared->submit(d_push, next);
+  }
+}
+
+void ClusterSim::end_iteration(SimJob& job, double comm_duration, double comp_duration_s) {
+  GroupRun& g = *job.group;
+  job.in_flight = false;
+  ++job.iterations_done;
+  ++job.iters_in_group;
+  ++job.profile_iterations;
+
+  profiler_.record(job.spec.id, g.machines, comp_duration_s, comm_duration);
+
+  const double wall = sim_.now() - job.iter_start_time;
+  iteration_walls_.add(wall);
+  if (job.iters_in_group >= 2) g.actual_iteration_times.add(wall);
+
+  // Occupancy-target hill climbing on observed iteration times (§IV-C).
+  if (config_.spill_enabled && !config_.fixed_alpha && g.occ_ctl) {
+    g.recent_walls.add(wall);
+    ++g.iters_since_alpha_update;
+    const std::size_t cadence =
+        std::max<std::size_t>(1, config_.alpha_update_every) *
+        std::max<std::size_t>(1, g.members.size());
+    if (g.iters_since_alpha_update >= cadence && g.recent_walls.size() >= 4) {
+      g.iters_since_alpha_update = 0;
+      g.occ_ctl->observe(g.recent_walls.mean());
+      for (core::JobId id : g.members) {
+        refresh_alpha(*jobs_[id], /*initialize=*/false);
+        alpha_samples_.add(jobs_[id]->alpha);
+      }
+    }
+  }
+
+  // Finished?
+  if (job.iterations_done >= job.spec.iterations) {
+    job.state = core::JobState::kFinished;
+    job.finish_time = sim_.now();
+    summary_.jobs.push_back(JobOutcome{job.spec.id, job.submit_time, job.finish_time});
+    auto it = std::find(g.members.begin(), g.members.end(), job.spec.id);
+    if (it != g.members.end()) g.members.erase(it);
+    --g.active_members;
+    job.last_group = &g;
+    job.group = nullptr;
+    // A stopping group may have been waiting on exactly this job to drain.
+    if (g.stopping && g.active_members == 0) dissolve_group(g);
+    on_job_finished(job);
+    return;
+  }
+
+  // Profiling complete?
+  if (job.state == core::JobState::kProfiling &&
+      job.profile_iterations >= config_.profiling_iterations) {
+    on_job_profiled(job);
+    // The job may have been parked, or migrated into another group —
+    // migration schedules its own (delayed) start, so continuing here would
+    // run two pipelines for one job.
+    if (job.group == nullptr || job.iters_in_group == 0) return;
+  }
+
+  // Group being torn down for a regroup?
+  if (g.stopping) {
+    park_job(job, core::JobState::kPaused);
+    return;
+  }
+
+  start_iteration(job);
+}
+
+// ---------------------------------------------------------------------------
+// Group management
+
+ClusterSim::GroupRun& ClusterSim::create_group(const std::vector<core::JobId>& member_ids,
+                                               std::size_t machines) {
+  if (machines == 0) throw std::logic_error("create_group: zero machines");
+  if (machines > free_machines_) throw std::logic_error("create_group: not enough machines");
+  free_machines_ -= machines;
+
+  auto group = std::make_unique<GroupRun>();
+  group->id = next_group_id_++;
+  group->machines = machines;
+  const std::string tag = "g" + std::to_string(group->id);
+  if (config_.exec == ExecModel::kPipelined) {
+    group->cpu_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-cpu");
+    group->net_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-net");
+  } else {
+    // Contended execution: concurrent steps split the capacity and pay an
+    // interference penalty — the naive co-location behaviour of Fig. 5a.
+    group->cpu_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-cpu", 1.0,
+                                                              config_.contention_penalty);
+    group->net_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-net", 1.0,
+                                                              config_.contention_penalty);
+  }
+  groups_.push_back(std::move(group));
+  GroupRun& g = *groups_.back();
+  for (core::JobId id : member_ids) place_job_in_group(*jobs_[id], g, false);
+  return g;
+}
+
+void ClusterSim::place_job_in_group(SimJob& job, GroupRun& group, bool with_migration_delay) {
+  if (job.group != nullptr) {
+    std::fprintf(stderr, "place: job %u state=%s group=%zu->%zu in_flight=%d\n", job.spec.id,
+                 core::to_string(job.state), static_cast<std::size_t>(job.group->id),
+                 static_cast<std::size_t>(group.id), job.in_flight ? 1 : 0);
+    void* frames[16];
+    const int n = backtrace(frames, 16);
+    backtrace_symbols_fd(frames, n, 2);
+    std::abort();
+  }
+  job.group = &group;
+  job.iters_in_group = 0;
+  group.members.push_back(job.spec.id);
+  ++group.active_members;
+  if (job.state != core::JobState::kProfiling) job.state = core::JobState::kRunning;
+  refresh_alpha(job, /*initialize=*/true);
+  // Every co-tenant's memory share just shrank: recompute everyone's α for
+  // the group's occupancy target.
+  if (config_.spill_enabled && !config_.fixed_alpha) {
+    if (!group.occ_ctl) {
+      core::AlphaController::Params ctl;
+      ctl.step = 0.05;
+      ctl.min_step = 0.01;
+      ctl.min_alpha = 0.40;   // occupancy targets, not disk ratios
+      ctl.max_alpha = 0.93;   // stay under the OOM line
+      group.occ_ctl.emplace(config_.alpha_floor_occupancy, ctl);
+    }
+    for (core::JobId id : group.members) {
+      SimJob& member = *jobs_[id];
+      if (&member == &job) continue;
+      refresh_alpha(member, /*initialize=*/false);
+    }
+  }
+
+  double delay = 0.0;
+  if (with_migration_delay) {
+    delay = migration_delay(job, group.machines);
+    summary_.migration_overhead_sec += delay;
+  }
+  sim_.schedule_in(delay, [this, &job, &group] {
+    if (job.group == &group && job.state != core::JobState::kFinished) start_iteration(job);
+  });
+}
+
+double ClusterSim::migration_delay(const SimJob& job, std::size_t machines) const {
+  // Checkpoint restore + input reload, spread across the new group's
+  // machines' disks (§IV-B4: only stateful model parameters move; immutable
+  // input is simply reloaded).
+  const double m = static_cast<double>(machines);
+  const double model_io = 2.0 * job.spec.model_bytes() / m;  // write + read
+  const double input_io = (1.0 - job.alpha) * job.spec.input_bytes() / m;
+  return (model_io + input_io) / config_.machine_spec.disk_bytes_per_sec;
+}
+
+void ClusterSim::park_job(SimJob& job, core::JobState state) {
+  GroupRun* g = job.group;
+  assert(g != nullptr);
+  if (job.in_flight) {
+    std::fprintf(stderr, "park_job: job %u in flight (state=%s -> %s, iters=%zu)\n",
+                 job.spec.id, core::to_string(job.state), core::to_string(state),
+                 job.iterations_done);
+    std::abort();
+  }
+  auto it = std::find(g->members.begin(), g->members.end(), job.spec.id);
+  if (it != g->members.end()) g->members.erase(it);
+  --g->active_members;
+  job.group = nullptr;
+  job.state = state;
+  job.alpha = 0.0;
+
+  if (g->stopping && g->active_members == 0) {
+    dissolve_group(*g);  // dissolve advances any pending regroup itself
+  }
+
+  // Per-job migration: if a pending regroup routed this job to an
+  // already-created target group, it moves there right now — the rest of its
+  // old group keeps running (§IV-B4). The dissolve above may already have
+  // placed it (try_apply_pending), hence the group re-check.
+  if (pending_regroup_ && !applying_pending_ && job.group == nullptr &&
+      job.state != core::JobState::kFinished) {
+    auto it = pending_regroup_->job_plan.find(job.spec.id);
+    if (it != pending_regroup_->job_plan.end()) {
+      GroupRun* target = pending_regroup_->targets[it->second];
+      if (target != nullptr && !target->dissolved && !target->stopping &&
+          fits_without_spill(*target, job)) {
+        settle_group_prediction(*target);
+        place_job_in_group(job, *target, /*with_migration_delay=*/true);
+        group_dops_.add(static_cast<double>(target->machines));
+        record_group_prediction(*target);
+        return;
+      }
+    }
+  }
+  try_apply_pending();  // machines/jobs freed may unblock pending plans
+}
+
+void ClusterSim::dissolve_group(GroupRun& group) {
+  if (group.dissolved) return;
+  settle_group_prediction(group);
+  group.dissolved = true;
+  free_machines_ += group.machines;
+  group.machines = 0;
+  // The GroupRun object stays alive (resources may still fire no-op events);
+  // it simply no longer participates in views or utilization accounting.
+  try_apply_pending();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling — shared helpers
+
+core::SchedJob ClusterSim::sched_view(const SimJob& job) {
+  core::JobProfile p;
+  if (config_.grouping == GroupingPolicy::kHarmony) {
+    const auto measured = profiler_.profile(job.spec.id);
+    p = measured.value_or(job.spec.profile());
+  } else {
+    // Baselines are granted oracle profiles (their best case).
+    p = job.spec.profile();
+  }
+  p.cpu_work *= job.err_cpu;
+  p.t_net *= job.err_net;
+  return core::SchedJob{job.spec.id, p};
+}
+
+std::vector<core::SchedJob> ClusterSim::idle_sched_jobs() const {
+  std::vector<const SimJob*> idle;
+  for (const auto& job : jobs_)
+    if (job->state == core::JobState::kProfiled || job->state == core::JobState::kPaused)
+      idle.push_back(job.get());
+  std::sort(idle.begin(), idle.end(), [](const SimJob* a, const SimJob* b) {
+    return a->submit_time < b->submit_time;
+  });
+  std::vector<core::SchedJob> out;
+  out.reserve(idle.size());
+  auto* self = const_cast<ClusterSim*>(this);
+  for (const SimJob* job : idle) out.push_back(self->sched_view(*job));
+  return out;
+}
+
+std::vector<core::RunningGroup> ClusterSim::running_groups_view() const {
+  std::vector<core::RunningGroup> out;
+  auto* self = const_cast<ClusterSim*>(this);
+  for (const auto& g : groups_) {
+    if (g->dissolved || g->stopping) continue;
+    core::RunningGroup rg;
+    rg.machines = g->machines;
+    for (core::JobId id : g->members) {
+      if (jobs_[id]->state == core::JobState::kRunning)
+        rg.jobs.push_back(self->sched_view(*jobs_[id]));
+    }
+    if (!rg.jobs.empty()) out.push_back(std::move(rg));
+  }
+  return out;
+}
+
+std::vector<ClusterSim::GroupRun*> ClusterSim::live_groups() const {
+  std::vector<GroupRun*> out;
+  for (const auto& g : groups_)
+    if (!g->dissolved && !g->stopping) out.push_back(g.get());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling — event handlers
+
+void ClusterSim::on_job_arrival(SimJob& job) {
+  job.arrived = true;
+  job.state = core::JobState::kWaiting;
+  switch (config_.grouping) {
+    case GroupingPolicy::kIsolated:
+      try_schedule_isolated();
+      break;
+    case GroupingPolicy::kRandom:
+      try_schedule_naive();
+      break;
+    case GroupingPolicy::kHarmony:
+      // Defer: arrival events carry the same timestamp when jobs are
+      // submitted in a batch, and the bootstrap should see the whole batch,
+      // not just the first arrival. Same-time events fire in FIFO order, so
+      // this runs after every pending arrival.
+      sim_.schedule_at(sim_.now(), [this] { maybe_start_profiling(); });
+      break;
+    case GroupingPolicy::kOneGroup: {
+      // Micro-bench policy: every job runs in one group spanning the whole
+      // cluster (forces a specific DoP / co-location set).
+      auto groups = live_groups();
+      GroupRun* target;
+      if (groups.empty()) {
+        target = &create_group({}, free_machines_);
+      } else {
+        target = groups.front();
+      }
+      place_job_in_group(job, *target, /*with_migration_delay=*/false);
+      record_group_prediction(*target);
+      break;
+    }
+  }
+}
+
+void ClusterSim::maybe_start_profiling() {
+  // Collect waiting jobs, oldest first.
+  std::vector<SimJob*> waiting;
+  for (auto& job : jobs_)
+    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  if (waiting.empty()) return;
+  std::sort(waiting.begin(), waiting.end(),
+            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
+
+  if (live_groups().empty() && pending_regroup_ == std::nullopt) {
+    // No groups at all (startup, or everything drained between arrivals):
+    // profile the backlog in naive bootstrap groups.
+    bootstrap_profiling();
+    return;
+  }
+
+  // Steady state: profile into the group with the fewest machines (or the
+  // one already profiling), up to the concurrency cap (§IV-B1).
+  std::size_t profiling_now = 0;
+  for (const auto& job : jobs_)
+    if (job->state == core::JobState::kProfiling) ++profiling_now;
+
+  auto groups = live_groups();
+  if (groups.empty()) return;
+  for (SimJob* job : waiting) {
+    if (profiling_now >= config_.max_profiling_jobs) break;
+    GroupRun* target = nullptr;
+    for (GroupRun* g : groups) {
+      bool has_profiling = false;
+      for (core::JobId id : g->members)
+        if (jobs_[id]->state == core::JobState::kProfiling) has_profiling = true;
+      if (has_profiling) {
+        target = g;
+        break;
+      }
+      if (target == nullptr || g->machines < target->machines) target = g;
+    }
+    if (target == nullptr) break;
+    job->state = core::JobState::kProfiling;
+    place_job_in_group(*job, *target, /*with_migration_delay=*/true);
+    ++profiling_now;
+  }
+}
+
+void ClusterSim::bootstrap_profiling() {
+  // Initial naive placement for profiling (§III: a submitted job "gets
+  // naively assigned to a group ... to be profiled"). Jobs are chunked and
+  // each chunk gets an even share of the cluster.
+  std::vector<SimJob*> waiting;
+  for (auto& job : jobs_)
+    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  if (waiting.empty()) return;
+  std::sort(waiting.begin(), waiting.end(),
+            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
+
+  const std::size_t chunk_size = 8;
+  const std::size_t chunks =
+      std::clamp<std::size_t>((waiting.size() + chunk_size - 1) / chunk_size, 1,
+                              std::max<std::size_t>(1, free_machines_));
+  const std::size_t machines_per_chunk = std::max<std::size_t>(1, free_machines_ / chunks);
+
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < chunks && cursor < waiting.size(); ++c) {
+    const std::size_t take =
+        std::min(waiting.size() - cursor, (waiting.size() + chunks - 1) / chunks);
+    const std::size_t m = std::min(machines_per_chunk, free_machines_);
+    if (m == 0) break;
+    GroupRun& g = create_group({}, m);
+    for (std::size_t k = 0; k < take; ++k) {
+      SimJob* job = waiting[cursor++];
+      job->state = core::JobState::kProfiling;
+      place_job_in_group(*job, g, /*with_migration_delay=*/false);
+    }
+  }
+}
+
+void ClusterSim::schedule_on_spare_machines() {
+  // Work conservation: the paper's allocateMachines always distributes every
+  // machine it is given, so unallocated machines plus an idle backlog means
+  // we should form new groups (this also recovers after arrival lulls).
+  // Machines earmarked for a pending regroup's yet-to-form groups are not
+  // spare.
+  if (scheduling_spare_) return;  // re-entry via apply/dissolve chains
+  std::size_t reserved = pending_regroup_ ? pending_regroup_->reserved_machines() : 0;
+  if (free_machines_ <= reserved) return;
+  const std::size_t spare = free_machines_ - reserved;
+  // Gate on a meaningful chunk of machines: forming 2-machine groups from
+  // every scrap fragments the cluster and churns migrations. On tiny
+  // clusters the gate drops to one machine or jobs would starve.
+  const std::size_t gate =
+      std::min<std::size_t>(4, std::max<std::size_t>(1, config_.machines / 20));
+  if (spare < gate) return;
+  const auto idle = idle_sched_jobs();
+  if (idle.empty()) return;
+  scheduling_spare_ = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScheduleDecision decision = scheduler_.schedule(idle, spare);
+  sched_wall_seconds_ += wall_seconds_since(t0);
+  ++sched_invocations_;
+  apply_decision(decision, {});
+  scheduling_spare_ = false;
+}
+
+void ClusterSim::expand_groups_with_free_machines() {
+  // Only for Harmony's grouping and only once the backlog is empty: extra
+  // machines shrink COMP (Eq. 2), shortening the remaining groups' cycles.
+  if (config_.grouping != GroupingPolicy::kHarmony) return;
+  if (pending_regroup_ || free_machines_ == 0) return;
+  for (const auto& job : jobs_)
+    if (job->arrived && (job->state == core::JobState::kWaiting ||
+                         job->state == core::JobState::kPaused ||
+                         (job->state == core::JobState::kProfiled && job->group == nullptr)))
+      return;  // backlog exists: machines belong to new groups instead
+
+  while (free_machines_ > 0) {
+    GroupRun* best = nullptr;
+    double best_gain = 1e-6;
+    for (GroupRun* g : live_groups()) {
+      core::GroupShape shape;
+      shape.machines = g->machines;
+      for (core::JobId id : g->members) shape.jobs.push_back(jobs_[id]->spec.profile());
+      if (shape.jobs.empty()) continue;
+      const double now_t = core::PerfModel::group_iteration_time(shape);
+      ++shape.machines;
+      const double next_t = core::PerfModel::group_iteration_time(shape);
+      const double gain = (now_t - next_t) / std::max(now_t, 1e-9);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = g;
+      }
+    }
+    if (best == nullptr) break;
+    --free_machines_;
+    ++best->machines;
+  }
+}
+
+std::size_t ClusterSim::PendingRegroup::reserved_machines() const {
+  std::size_t reserved = 0;
+  for (std::size_t i = 0; i < decision.groups.size(); ++i)
+    if (!resolved[i]) reserved += decision.groups[i].machines;
+  return reserved;
+}
+
+void ClusterSim::begin_pending(core::ScheduleDecision decision,
+                               std::vector<GroupRun*> involved) {
+  PendingRegroup pr;
+  pr.targets.assign(decision.groups.size(), nullptr);
+  pr.resolved.assign(decision.groups.size(), false);
+  for (std::size_t i = 0; i < decision.groups.size(); ++i)
+    for (core::JobId id : decision.groups[i].jobs) pr.job_plan[id] = i;
+  pr.decision = std::move(decision);
+  pr.involved = involved;
+  pending_regroup_.emplace(std::move(pr));
+  ++summary_.regroup_events;
+  for (GroupRun* g : involved) g->stopping = true;
+  for (GroupRun* g : involved)
+    if (!g->dissolved && g->active_members == 0) dissolve_group(*g);
+  try_apply_pending();
+}
+
+void ClusterSim::try_apply_pending() {
+  if (!pending_regroup_ || applying_pending_) return;
+  applying_pending_ = true;
+
+  // Materialize every plan whose machines are available; jobs still draining
+  // out of stopping groups join later (park_job routes them here).
+  PendingRegroup& pr = *pending_regroup_;
+  for (std::size_t i = 0; i < pr.decision.groups.size(); ++i) {
+    if (pr.resolved[i]) continue;
+    const core::GroupPlan& plan = pr.decision.groups[i];
+
+    // Abandon plans none of whose jobs can ever arrive (finished, or claimed
+    // by another group that is not draining).
+    bool possible = false;
+    for (core::JobId id : plan.jobs) {
+      const SimJob& j = *jobs_[id];
+      if (j.state == core::JobState::kFinished) continue;
+      if (j.group == nullptr || j.group->stopping) possible = true;
+    }
+    if (!possible || plan.machines == 0) {
+      pr.resolved[i] = true;
+      continue;
+    }
+    if (plan.machines > free_machines_) continue;
+
+    GroupRun& g = create_group({}, plan.machines);
+    pr.targets[i] = &g;
+    pr.resolved[i] = true;
+    std::size_t placed = 0;
+    std::vector<SimJob*> refused;
+    for (core::JobId id : plan.jobs) {
+      SimJob& j = *jobs_[id];
+      if (j.state == core::JobState::kFinished || j.group != nullptr) continue;
+      if (!fits_without_spill(g, j)) {
+        refused.push_back(&j);  // no-spill runs: cannot share this group
+        continue;
+      }
+      place_job_in_group(j, g, /*with_migration_delay=*/true);
+      group_dops_.add(static_cast<double>(plan.machines));
+      ++placed;
+    }
+    if (placed == 0) {
+      dissolve_group(g);
+    } else {
+      group_sizes_.add(static_cast<double>(placed));
+      record_group_prediction(g);
+    }
+    for (SimJob* j : refused) place_fallback_isolated(*j);
+  }
+
+  // Complete once every plan is resolved and every drained group is gone.
+  bool done = true;
+  for (bool r : pr.resolved)
+    if (!r) done = false;
+  for (GroupRun* g : pr.involved)
+    if (!g->dissolved) done = false;
+  if (done) pending_regroup_.reset();
+  applying_pending_ = false;
+  if (done) {
+    // Jobs left over from the drained groups wait as paused.
+    for (auto& job : jobs_)
+      if (job->group == nullptr && job->state == core::JobState::kRunning)
+        job->state = core::JobState::kPaused;
+    maybe_start_profiling();
+  }
+  // Whatever machines the pending plans do not need can serve the idle pool
+  // right away (reserved machines are excluded inside).
+  schedule_on_spare_machines();
+}
+
+void ClusterSim::on_job_profiled(SimJob& job) {
+  job.state = core::JobState::kProfiled;
+  if (!initial_schedule_done_) {
+    // Wait until the whole initial batch has profiles, then run Algorithm 1
+    // over everything.
+    bool all_profiled = true;
+    for (const auto& j : jobs_) {
+      if (!j->arrived) continue;
+      if (j->state == core::JobState::kWaiting || j->state == core::JobState::kProfiling)
+        all_profiled = false;
+    }
+    if (all_profiled) run_initial_harmony_schedule();
+    return;  // keeps iterating in its bootstrap group meanwhile
+  }
+
+  // Steady state (§IV-B4 arrival rule).
+  const auto idle = idle_sched_jobs();
+  const auto groups_view = running_groups_view();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RegroupAction action =
+      regrouper_.on_job_arrival(sched_view(job), idle, groups_view);
+  sched_wall_seconds_ += wall_seconds_since(t0);
+  ++sched_invocations_;
+
+  if (action.kind == core::RegroupAction::Kind::kAddToGroup) {
+    auto groups = live_groups();
+    // Map the view index back to a live group (views skip empty groups, so
+    // rebuild the same filtered list).
+    std::vector<GroupRun*> view_groups;
+    for (GroupRun* g : groups) {
+      bool has_running = false;
+      for (core::JobId id : g->members)
+        if (jobs_[id]->state == core::JobState::kRunning) has_running = true;
+      if (has_running) view_groups.push_back(g);
+    }
+    if (action.group_index < view_groups.size()) {
+      GroupRun* target = view_groups[action.group_index];
+      if (job.group == target) {
+        job.state = core::JobState::kRunning;
+        settle_group_prediction(*target);
+        record_group_prediction(*target);
+        return;
+      }
+      if (job.group != nullptr) park_job(job, core::JobState::kProfiled);
+      // park_job may already have routed the job into a pending regroup's
+      // target group; only place it ourselves if it is still idle.
+      if (job.group == nullptr && fits_without_spill(*target, job)) {
+        ++summary_.regroup_events;
+        settle_group_prediction(*target);
+        place_job_in_group(job, *target, /*with_migration_delay=*/true);
+        record_group_prediction(*target);
+      }
+      return;
+    }
+  }
+  // Wait: leave the profiling group and pause.
+  if (job.group != nullptr) park_job(job, core::JobState::kProfiled);
+  schedule_on_spare_machines();
+}
+
+void ClusterSim::run_initial_harmony_schedule() {
+  initial_schedule_done_ = true;
+  // Pool: everything profiled so far, queue order.
+  std::vector<core::SchedJob> pool = idle_sched_jobs();
+  // Jobs still running in bootstrap groups are also schedulable.
+  for (auto& job : jobs_) {
+    if (job->state == core::JobState::kRunning ||
+        (job->state == core::JobState::kProfiled && job->group != nullptr)) {
+      if (std::none_of(pool.begin(), pool.end(),
+                       [&](const core::SchedJob& s) { return s.id == job->spec.id; }))
+        pool.push_back(sched_view(*job));
+    }
+  }
+  if (pool.empty()) return;
+
+  const std::size_t total_machines = config_.machines;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::ScheduleDecision decision = scheduler_.schedule(pool, total_machines);
+  sched_wall_seconds_ += wall_seconds_since(t0);
+  ++sched_invocations_;
+
+  // Tear down every bootstrap group; decision groups form as drains finish.
+  begin_pending(std::move(decision), live_groups());
+}
+
+void ClusterSim::apply_decision(const core::ScheduleDecision& decision,
+                                const std::vector<std::size_t>& /*replaced*/) {
+  // Additive application: only idle (group-less) jobs are placed; a job that
+  // something else claimed in the meantime is skipped.
+  ++summary_.regroup_events;
+  for (const core::GroupPlan& plan : decision.groups) {
+    if (plan.jobs.empty() || plan.machines == 0) continue;
+    const std::size_t m = std::min(plan.machines, free_machines_);
+    if (m == 0) break;
+    std::vector<SimJob*> placeable;
+    for (core::JobId id : plan.jobs) {
+      SimJob& job = *jobs_[id];
+      if (job.state == core::JobState::kFinished || job.group != nullptr) continue;
+      placeable.push_back(&job);
+    }
+    if (placeable.empty()) continue;
+    GroupRun& g = create_group({}, m);
+    std::size_t placed = 0;
+    std::vector<SimJob*> refused;
+    for (SimJob* job : placeable) {
+      if (!fits_without_spill(g, *job)) {
+        refused.push_back(job);
+        continue;
+      }
+      place_job_in_group(*job, g, /*with_migration_delay=*/true);
+      group_dops_.add(static_cast<double>(m));
+      ++placed;
+    }
+    if (placed == 0) {
+      dissolve_group(g);
+    } else {
+      group_sizes_.add(static_cast<double>(placed));
+      record_group_prediction(g);
+    }
+    for (SimJob* job : refused) place_fallback_isolated(*job);
+  }
+  maybe_start_profiling();
+}
+
+void ClusterSim::on_job_finished(SimJob& job) {
+  switch (config_.grouping) {
+    case GroupingPolicy::kIsolated: {
+      // The finished job's dedicated group dissolves; queued jobs take over.
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        GroupRun& g = *groups_[gi];  // indexed: dissolve may grow groups_
+        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
+      }
+      try_schedule_isolated();
+      return;
+    }
+    case GroupingPolicy::kRandom: {
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        GroupRun& g = *groups_[gi];
+        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
+      }
+      try_schedule_naive();
+      return;
+    }
+    case GroupingPolicy::kOneGroup: {
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        GroupRun& g = *groups_[gi];
+        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
+      }
+      return;
+    }
+    case GroupingPolicy::kHarmony:
+      break;
+  }
+
+  // Clean up emptied groups first.
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    GroupRun& g = *groups_[gi];
+    if (!g.dissolved && !g.stopping && g.members.empty() && g.active_members == 0)
+      dissolve_group(g);
+  }
+
+  if (pending_regroup_) {
+    // A regroup is already in flight; just keep spare machines busy.
+    schedule_on_spare_machines();
+    return;
+  }
+
+  // Locate the group the job left (it may just have been dissolved).
+  const auto groups_view = running_groups_view();
+  if (groups_view.empty()) {
+    // Nothing running: restart from the idle pool if anything is left.
+    schedule_on_spare_machines();
+    maybe_start_profiling();
+    return;
+  }
+
+  // Map the finished job's former group into the view index space.
+  std::vector<GroupRun*> view_groups;
+  for (GroupRun* g : live_groups()) {
+    bool has_running = false;
+    for (core::JobId id : g->members)
+      if (jobs_[id]->state == core::JobState::kRunning) has_running = true;
+    if (has_running) view_groups.push_back(g);
+  }
+  std::size_t group_index = 0;
+  for (std::size_t i = 0; i < view_groups.size(); ++i)
+    if (view_groups[i] == job.last_group) group_index = i;
+
+  const auto idle = idle_sched_jobs();
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RegroupAction action = regrouper_.on_job_finish(
+      sched_view(job), group_index, idle, groups_view, free_machines_);
+  sched_wall_seconds_ += wall_seconds_since(t0);
+  ++sched_invocations_;
+
+  switch (action.kind) {
+    case core::RegroupAction::Kind::kNone:
+      break;
+    case core::RegroupAction::Kind::kReplace: {
+      if (action.group_index < view_groups.size()) {
+        GroupRun* target = view_groups[action.group_index];
+        settle_group_prediction(*target);
+        for (const core::SchedJob& r : action.replacements) {
+          SimJob& repl = *jobs_[r.id];
+          if (repl.group != nullptr || repl.state == core::JobState::kFinished) continue;
+          if (!fits_without_spill(*target, repl)) continue;
+          place_job_in_group(repl, *target, /*with_migration_delay=*/true);
+        }
+        ++summary_.regroup_events;
+        record_group_prediction(*target);
+      }
+      break;
+    }
+    case core::RegroupAction::Kind::kReschedule: {
+      // Damp churn: full reschedules pay drain and migration costs, so they
+      // are rate-limited; the cheap kReplace repairs are not.
+      if (sim_.now() - last_reschedule_time_ < config_.reschedule_cooldown_sec) break;
+      std::vector<GroupRun*> involved;
+      for (std::size_t idx : action.groups_involved)
+        if (idx < view_groups.size()) involved.push_back(view_groups[idx]);
+      if (involved.empty()) break;
+      last_reschedule_time_ = sim_.now();
+      begin_pending(action.decision, std::move(involved));
+      break;
+    }
+    case core::RegroupAction::Kind::kAddToGroup:
+      break;  // not produced by on_job_finish
+  }
+  maybe_start_profiling();
+  schedule_on_spare_machines();
+  expand_groups_with_free_machines();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline scheduling drivers
+
+void ClusterSim::try_schedule_isolated() {
+  for (;;) {
+    SimJob* next = nullptr;
+    for (auto& job : jobs_)
+      if (job->arrived && job->state == core::JobState::kWaiting &&
+          (next == nullptr || job->submit_time < next->submit_time))
+        next = job.get();
+    if (next == nullptr) return;
+
+    std::size_t m = isolated_.pick_dop(next->spec.profile());
+    m = std::max(m, next->spec.min_machines_without_spill(config_.machine_spec));
+    m = std::min(m, config_.machines);
+    if (m > free_machines_) return;  // FIFO head-of-line blocking
+    GroupRun& g = create_group({}, m);
+    place_job_in_group(*next, g, /*with_migration_delay=*/false);
+    group_dops_.add(static_cast<double>(m));
+    group_sizes_.add(1.0);
+    record_group_prediction(g);
+  }
+}
+
+void ClusterSim::try_schedule_naive() {
+  // Naive co-location: FIFO queue (in seeded shuffled order) chopped into
+  // fixed-size groups; each group gets just enough machines to fit in memory.
+  std::vector<SimJob*> waiting;
+  for (auto& job : jobs_)
+    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  if (waiting.empty()) return;
+  std::sort(waiting.begin(), waiting.end(),
+            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
+  if (config_.naive_grouping_seed != 0) {
+    Rng shuffle_rng(config_.naive_grouping_seed);
+    shuffle_rng.shuffle(waiting);
+  }
+
+  const std::size_t k = std::max<std::size_t>(1, config_.naive_jobs_per_group);
+  std::size_t cursor = 0;
+  bool scheduled_nothing_yet = live_groups().empty();
+  while (cursor < waiting.size()) {
+    const std::size_t take = std::min(k, waiting.size() - cursor);
+    // All-arrived batches form full groups; a short tail only schedules when
+    // nothing else will arrive to fill it (approximated: schedule anyway).
+    double mem_needed = 0.0;
+    std::size_t compute_need = 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      const WorkloadSpec& s = waiting[cursor + i]->spec;
+      mem_needed += s.input_bytes() * kInputMemExpansion + s.model_bytes() * kModelMemExpansion;
+      compute_need = std::max(compute_need, isolated_.pick_dop(s.profile()));
+    }
+    // Naive co-location's whole point is consolidation: the k jobs share the
+    // allocation the largest of them would have received alone (Gandiva-style
+    // packing), stretched only if their summed memory would OOM outright.
+    const auto mem_machines = static_cast<std::size_t>(std::ceil(
+        mem_needed / (config_.naive_pack_occupancy * config_.machine_spec.memory_bytes)));
+    std::size_t m = std::clamp<std::size_t>(std::max(mem_machines, compute_need), 2,
+                                            config_.machines);
+    if (m > free_machines_) {
+      if (!scheduled_nothing_yet || cursor + take < waiting.size()) {
+        // Backfill: skip the blocked chunk and try the next one.
+        cursor += take;
+        continue;
+      }
+      m = std::max<std::size_t>(1, free_machines_);  // forced (may OOM)
+      if (m == 0) return;
+    }
+    scheduled_nothing_yet = false;
+    GroupRun& g = create_group({}, m);
+    for (std::size_t i = 0; i < take; ++i)
+      place_job_in_group(*waiting[cursor + i], g, /*with_migration_delay=*/false);
+    group_dops_.add(static_cast<double>(m));
+    group_sizes_.add(static_cast<double>(take));
+    record_group_prediction(g);
+    cursor += take;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+void ClusterSim::record_group_prediction(GroupRun& group) {
+  core::GroupShape shape;
+  shape.machines = group.machines;
+  for (core::JobId id : group.members) {
+    if (jobs_[id]->state != core::JobState::kRunning) continue;
+    shape.jobs.push_back(sched_view(*jobs_[id]).profile);
+  }
+  if (shape.jobs.empty() || shape.machines == 0) {
+    group.predicted_titr = 0.0;
+    return;
+  }
+  group.predicted_titr = core::PerfModel::group_iteration_time(shape);
+  group.predicted_util = core::PerfModel::group_utilization(shape);
+  group.predict_start = sim_.now();
+  group.cpu_busy_at_predict = group.cpu_busy();
+  group.net_busy_at_predict = group.net_busy();
+  group.actual_iteration_times = SampleSet{};
+}
+
+void ClusterSim::settle_group_prediction(GroupRun& group) {
+  if (group.predicted_titr <= 0.0) return;
+  const double elapsed = sim_.now() - group.predict_start;
+  if (elapsed < 2.0 * group.predicted_titr || group.actual_iteration_times.size() < 3)
+    return;
+  const double actual_titr = group.actual_iteration_times.mean();
+  prediction_errors_.group_iteration_rel_error.add(
+      relative_error(actual_titr, group.predicted_titr));
+
+  const double u_cpu = (group.cpu_busy() - group.cpu_busy_at_predict) / elapsed;
+  const double u_net = (group.net_busy() - group.net_busy_at_predict) / elapsed;
+  const double err = 0.5 * (std::abs(u_cpu - group.predicted_util.cpu) +
+                            std::abs(u_net - group.predicted_util.net));
+  prediction_errors_.utilization_rel_error.add(
+      err / std::max(0.5 * (group.predicted_util.cpu + group.predicted_util.net), 1e-9));
+  group.predicted_titr = 0.0;
+}
+
+void ClusterSim::sample_utilization() {
+  const double window = config_.util_sample_window_sec;
+  double cpu_weighted = 0.0;
+  double net_weighted = 0.0;
+  std::size_t running_jobs = 0;
+  std::size_t running_groups = 0;
+  for (auto& g : groups_) {
+    if (g->dissolved) continue;
+    const double cpu_now = g->cpu_busy();
+    const double net_now = g->net_busy();
+    const double m = static_cast<double>(g->machines);
+    cpu_weighted += m * std::min(1.0, (cpu_now - g->last_cpu_busy) / window);
+    net_weighted += m * std::min(1.0, (net_now - g->last_net_busy) / window);
+    g->last_cpu_busy = cpu_now;
+    g->last_net_busy = net_now;
+    if (!g->members.empty()) {
+      ++running_groups;
+      running_jobs += g->members.size();
+    }
+  }
+  const double total = static_cast<double>(config_.machines);
+  timeline_.add_sample(sim_.now(),
+                       core::Utilization{cpu_weighted / total, net_weighted / total});
+  if (config_.debug_trace) {
+    std::size_t waiting = 0, paused = 0, profiled = 0, finished = 0;
+    for (const auto& j : jobs_) {
+      waiting += j->state == core::JobState::kWaiting;
+      paused += j->state == core::JobState::kPaused;
+      profiled += j->state == core::JobState::kProfiled && j->group == nullptr;
+      finished += j->state == core::JobState::kFinished;
+    }
+    std::string groups_desc;
+    for (const auto& g : groups_)
+      if (!g->dissolved)
+        groups_desc += " [" + std::to_string(g->members.size()) + "j/" +
+                       std::to_string(g->machines) + "m" + (g->stopping ? "!" : "") + "]";
+    std::fprintf(stderr,
+                 "t=%7.0f cpu=%.2f net=%.2f free=%zu wait=%zu paused=%zu idleprof=%zu "
+                 "done=%zu pend=%d%s\n",
+                 sim_.now(), cpu_weighted / total, net_weighted / total, free_machines_,
+                 waiting, paused, profiled, finished, pending_regroup_ ? 1 : 0,
+                 groups_desc.c_str());
+  }
+  if (running_jobs > 0) {
+    concurrent_jobs_samples_.add(static_cast<double>(running_jobs));
+    concurrent_groups_samples_.add(static_cast<double>(running_groups));
+  }
+
+  // Keep sampling while anything is active or still to come.
+  bool more = false;
+  for (const auto& job : jobs_)
+    if (job->state != core::JobState::kFinished) more = true;
+  if (more) sim_.schedule_in(window, [this] { sample_utilization(); });
+}
+
+// ---------------------------------------------------------------------------
+
+RunSummary ClusterSim::run() {
+  summary_ = RunSummary{};
+  for (auto& job : jobs_) {
+    sim_.schedule_at(job->submit_time, [this, j = job.get()] { on_job_arrival(*j); });
+  }
+  sim_.schedule_in(config_.util_sample_window_sec, [this] { sample_utilization(); });
+  sim_.run(200'000'000ULL);
+
+  for (auto& g : groups_)
+    if (!g->dissolved) settle_group_prediction(*g);
+
+  double first_arrival = arrivals_.empty() ? 0.0 : arrivals_.front();
+  for (double a : arrivals_) first_arrival = std::min(first_arrival, a);
+  summary_.makespan = summary_.max_finish() - first_arrival;
+  summary_.avg_util = timeline_.average_until(summary_.makespan);
+  const double total = gc_lost_seconds_ + comp_base_seconds_;
+  summary_.gc_time_fraction = total > 0.0 ? gc_lost_seconds_ / total : 0.0;
+  return summary_;
+}
+
+double ClusterSim::avg_concurrent_jobs() const { return concurrent_jobs_samples_.mean(); }
+double ClusterSim::avg_concurrent_groups() const { return concurrent_groups_samples_.mean(); }
+
+AlphaStats ClusterSim::alpha_stats() const {
+  AlphaStats st;
+  if (alpha_samples_.empty()) return st;
+  st.mean = alpha_samples_.mean();
+  st.min = alpha_samples_.min();
+  st.max = alpha_samples_.max();
+  for (const auto& job : jobs_)
+    if (job->alpha >= 0.999 || job->model_spilled) ++st.jobs_at_one;
+  return st;
+}
+
+std::string ClusterSim::debug_dump() const {
+  std::string out = "t=" + std::to_string(sim_.now()) + " free=" +
+                    std::to_string(free_machines_) +
+                    " pending_regroup=" + (pending_regroup_ ? "yes" : "no") +
+                    "\n";
+  for (const auto& job : jobs_) {
+    out += "job " + std::to_string(job->spec.id) + " " + core::to_string(job->state) +
+           " iters=" + std::to_string(job->iterations_done) + "/" +
+           std::to_string(job->spec.iterations) +
+           " group=" + (job->group ? std::to_string(job->group->id) : "-") +
+           " arrived=" + (job->arrived ? "y" : "n") + "\n";
+  }
+  for (const auto& g : groups_) {
+    if (g->dissolved) continue;
+    out += "group " + std::to_string(g->id) + " m=" + std::to_string(g->machines) +
+           " members=" + std::to_string(g->members.size()) +
+           " active=" + std::to_string(g->active_members) +
+           (g->stopping ? " stopping" : "") + "\n";
+  }
+  return out;
+}
+
+bool co_location_ooms(const std::vector<WorkloadSpec>& jobs, std::size_t machines,
+                      const cluster::MachineSpec& spec,
+                      const cluster::MemoryModelParams& params) {
+  double resident = 0.0;
+  for (const WorkloadSpec& s : jobs) resident += s.resident_bytes(machines, 0.0);
+  return resident / spec.memory_bytes > params.oom_occupancy;
+}
+
+}  // namespace harmony::exp

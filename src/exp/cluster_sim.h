@@ -1,0 +1,273 @@
+// ClusterSim: event-driven execution of a multi-job workload on a simulated
+// cluster, under one of the paper's three scheduling regimes.
+//
+// Groups execute as subtask pipelines over per-group resources:
+//  * pipelined execution (Harmony / isolated / the "subtasks only" ablation)
+//    uses FIFO resources — one COMP at a time, COMM serialized — so jobs
+//    interleave without contention;
+//  * contended execution (naive co-location) uses processor-sharing resources
+//    with an interference penalty — concurrent steps slow each other down.
+//
+// The *scheduling logic is the real library code*: core::Scheduler
+// (Algorithm 1), core::Regrouper (§IV-B4), core::Profiler (moving averages
+// over measured subtask durations, not the hidden ground truth),
+// core::AlphaController + SpillCostModel (§IV-C) and the baselines. The
+// simulator supplies what EC2 supplied in the paper: machines, time, memory
+// pressure and noise.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/isolated.h"
+#include "baselines/naive.h"
+#include "cluster/machine.h"
+#include "cluster/memory_model.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "exp/metrics.h"
+#include "exp/workload.h"
+#include "harmony/profiler.h"
+#include "harmony/regrouper.h"
+#include "harmony/scheduler.h"
+#include "harmony/spill_manager.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace harmony::exp {
+
+enum class ExecModel {
+  kPipelined,  // Harmony's subtask discipline
+  kContended,  // naive: concurrent steps share and interfere
+};
+
+enum class GroupingPolicy {
+  kIsolated,  // one job per group, CPU-bias DoP (Optimus/SLAQ-style)
+  kRandom,    // seeded arbitrary co-location (Gandiva-style)
+  kHarmony,   // Algorithm 1 + dynamic regrouping
+  kOneGroup,  // force every job into one group over all machines (micro-benches)
+};
+
+struct ClusterSimConfig {
+  std::size_t machines = 100;
+  cluster::MachineSpec machine_spec;
+  cluster::MemoryModelParams memory_params;
+
+  ExecModel exec = ExecModel::kPipelined;
+  GroupingPolicy grouping = GroupingPolicy::kHarmony;
+  bool spill_enabled = true;
+
+  std::uint64_t seed = 1;
+  double subtask_noise_cv = 0.03;
+  // Interference penalty for contended execution (per extra concurrent task).
+  double contention_penalty = 0.08;
+
+  std::size_t naive_jobs_per_group = 3;
+  std::uint64_t naive_grouping_seed = 0;
+  // Occupancy the naive packer squeezes groups to (Gandiva packs close to the
+  // OOM line; a conservative operator would stay at the GC knee, 0.65).
+  double naive_pack_occupancy = 0.90;
+
+  // Fig. 13a: relative error injected into the profiles the scheduler sees.
+  // Systematic per job (each job's profile is consistently wrong by a fixed
+  // factor drawn once), which is what actually distorts grouping decisions.
+  double model_error_injection = 0.0;
+
+  // §V-G baseline: pin every job's disk ratio instead of hill climbing.
+  std::optional<double> fixed_alpha;
+
+  // Occupancy the α floor targets. Above the GC knee (0.7) but safely below
+  // the OOM line: mild GC is routinely cheaper than extra reloading, and the
+  // hill climb explores around this floor.
+  double alpha_floor_occupancy = 0.85;
+
+  // Prints a one-line cluster snapshot at every utilization sample (stderr).
+  bool debug_trace = false;
+
+  // Profiling iterations before a job is schedulable.
+  std::size_t profiling_iterations = 3;
+  // Minimum simulated time between successive kReschedule regroups; cheap
+  // kReplace repairs are always allowed (churn damping).
+  double reschedule_cooldown_sec = 900.0;
+  // Concurrent jobs being profiled in steady state.
+  std::size_t max_profiling_jobs = 4;
+
+  double util_sample_window_sec = 60.0;
+  // α re-optimization cadence (iterations between hill-climb observations).
+  std::size_t alpha_update_every = 2;
+
+  core::Scheduler::Params scheduler;
+  core::Regrouper::Params regrouper;
+  core::SpillCostModel::Params spill_costs;
+
+  // Convenience presets matching the paper's three systems.
+  static ClusterSimConfig isolated();
+  static ClusterSimConfig naive(std::uint64_t grouping_seed = 0);
+  static ClusterSimConfig harmony();
+};
+
+// Per-group disk-ratio statistics for §V-G reporting.
+struct AlphaStats {
+  double mean = 0.0;
+  double min = 1.0;
+  double max = 0.0;
+  std::size_t jobs_at_one = 0;  // jobs pinned at α = 1 (model spill kicks in)
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> workload,
+             std::vector<double> arrival_times);
+  ~ClusterSim();
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  // Runs the whole workload to completion and returns the summary.
+  RunSummary run();
+
+  const UtilizationTimeline& timeline() const noexcept { return timeline_; }
+  const PredictionErrors& prediction_errors() const noexcept { return prediction_errors_; }
+
+  // Scheduling-decision shape statistics (Fig. 12).
+  const SampleSet& group_dop_samples() const noexcept { return group_dops_; }
+  const SampleSet& group_size_samples() const noexcept { return group_sizes_; }
+
+  // Concurrency statistics (§V-C: "27.2 concurrent jobs ... 6.7 job groups").
+  double avg_concurrent_jobs() const;
+  double avg_concurrent_groups() const;
+
+  // Wall time of every completed job iteration (includes queueing/reload
+  // stalls); §V-G reports means of these under different α regimes.
+  const SampleSet& iteration_wall_samples() const noexcept { return iteration_walls_; }
+
+  AlphaStats alpha_stats() const;
+  double total_sched_seconds() const noexcept { return sched_wall_seconds_; }
+  std::size_t sched_invocations() const noexcept { return sched_invocations_; }
+
+  // One-line-per-entity dump of job and group state; debugging/ops aid.
+  std::string debug_dump() const;
+
+ private:
+  struct SimJob;
+  struct GroupRun;
+
+  // --- job pipeline -------------------------------------------------------
+  void start_iteration(SimJob& job);
+  void begin_comp(SimJob& job, double pull_duration);
+  void begin_push(SimJob& job, double pull_duration, double comp_duration);
+  void end_iteration(SimJob& job, double comm_duration, double comp_duration);
+  double comp_duration(SimJob& job);
+  double comm_half_duration(SimJob& job);
+
+  // --- memory / spill -----------------------------------------------------
+  double group_occupancy(const GroupRun& group) const;
+  double job_resident_bytes(const SimJob& job, std::size_t machines) const;
+  void refresh_alpha(SimJob& job, bool initialize);
+  // When spilling is disabled, Harmony placements refuse co-locations that
+  // would overflow memory outright (the operator's feasibility check the
+  // spill mechanism replaces).
+  bool fits_without_spill(const GroupRun& group, const SimJob& job) const;
+  // No-spill fallback: a job refused from every co-location gets a dedicated
+  // group at its memory-minimum DoP, if machines allow.
+  void place_fallback_isolated(SimJob& job);
+
+  // --- scheduling ---------------------------------------------------------
+  void on_job_arrival(SimJob& job);
+  void on_job_profiled(SimJob& job);
+  void on_job_finished(SimJob& job);
+  void bootstrap_profiling();
+  void try_schedule_isolated();
+  void try_schedule_naive();
+  void run_initial_harmony_schedule();
+  core::SchedJob sched_view(const SimJob& job);
+  std::vector<core::SchedJob> idle_sched_jobs() const;
+  std::vector<core::RunningGroup> running_groups_view() const;
+
+  GroupRun& create_group(const std::vector<core::JobId>& jobs, std::size_t machines);
+  void dissolve_group(GroupRun& group);
+  void place_job_in_group(SimJob& job, GroupRun& group, bool with_migration_delay);
+  void park_job(SimJob& job, core::JobState state);
+  double migration_delay(const SimJob& job, std::size_t machines) const;
+  void apply_decision(const core::ScheduleDecision& decision,
+                      const std::vector<std::size_t>& replaced_groups);
+  void maybe_start_profiling();
+  // Work conservation: if unallocated machines and idle jobs exist, runs
+  // Algorithm 1 over the idle pool for just those machines.
+  void schedule_on_spare_machines();
+  // Tail behaviour: when machines are free but no jobs are waiting, grow the
+  // DoP of the groups that benefit most (Eq. 2: more machines shrink COMP).
+  void expand_groups_with_free_machines();
+  // Starts a pipelined regroup: marks `involved` groups stopping and creates
+  // each decision group as soon as its jobs have parked and machines freed.
+  void begin_pending(core::ScheduleDecision decision, std::vector<GroupRun*> involved);
+  void try_apply_pending();
+  std::vector<GroupRun*> live_groups() const;
+
+  // --- metrics ------------------------------------------------------------
+  void sample_utilization();
+  void record_group_prediction(GroupRun& group);
+  void settle_group_prediction(GroupRun& group);
+
+  ClusterSimConfig config_;
+  std::vector<double> arrivals_;
+  cluster::MemoryModel memory_model_;
+  core::SpillCostModel spill_model_;
+  core::Scheduler scheduler_;
+  core::Regrouper regrouper_;
+  baselines::IsolatedScheduler isolated_;
+  baselines::NaiveScheduler naive_;
+  core::Profiler profiler_;
+  Rng rng_;
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<SimJob>> jobs_;
+  std::vector<std::unique_ptr<GroupRun>> groups_;
+  std::size_t next_group_id_ = 0;
+  std::size_t free_machines_ = 0;
+
+  UtilizationTimeline timeline_;
+  PredictionErrors prediction_errors_;
+  SampleSet group_dops_;
+  SampleSet group_sizes_;
+  SampleSet concurrent_jobs_samples_;
+  SampleSet concurrent_groups_samples_;
+  SampleSet alpha_samples_;
+  SampleSet iteration_walls_;
+  RunSummary summary_;
+  double sched_wall_seconds_ = 0.0;
+  std::size_t sched_invocations_ = 0;
+  bool initial_schedule_done_ = false;
+
+  // In-flight reschedule. Migration is per job: target groups materialize as
+  // soon as their machines free up, and each job joins its target the moment
+  // its ongoing iteration ends ("Harmony waits until ongoing iteration ends
+  // ... and executes the other co-located jobs in the meanwhile", §IV-B4).
+  struct PendingRegroup {
+    core::ScheduleDecision decision;
+    std::vector<GroupRun*> targets;  // created group per plan (null until then)
+    std::vector<bool> resolved;      // created, or abandoned (no jobs left)
+    std::unordered_map<core::JobId, std::size_t> job_plan;
+    std::vector<GroupRun*> involved;  // groups being drained
+
+    // Machines still earmarked for plans that have not materialized.
+    std::size_t reserved_machines() const;
+  };
+  std::optional<PendingRegroup> pending_regroup_;
+  bool applying_pending_ = false;
+  bool scheduling_spare_ = false;
+  double last_reschedule_time_ = -1e18;
+
+  // GC accounting: seconds of compute inflated away by GC vs. useful compute.
+  double gc_lost_seconds_ = 0.0;
+  double comp_base_seconds_ = 0.0;
+};
+
+// True when co-locating `jobs` on `machines` machines without spilling
+// overflows memory (Fig. 4's OOM case).
+bool co_location_ooms(const std::vector<WorkloadSpec>& jobs, std::size_t machines,
+                      const cluster::MachineSpec& spec,
+                      const cluster::MemoryModelParams& params);
+
+}  // namespace harmony::exp

@@ -1,0 +1,53 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace harmony::exp {
+
+void UtilizationTimeline::add_sample(double time_sec, core::Utilization value) {
+  times_.push_back(time_sec);
+  values_.push_back(value);
+}
+
+core::Utilization UtilizationTimeline::average() const {
+  return average_until(times_.empty() ? 0.0 : times_.back());
+}
+
+core::Utilization UtilizationTimeline::average_until(double horizon_sec) const {
+  core::Utilization acc;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] > horizon_sec) break;
+    acc.cpu += values_[i].cpu;
+    acc.net += values_[i].net;
+    ++n;
+  }
+  if (n == 0) return {};
+  return core::Utilization{acc.cpu / static_cast<double>(n), acc.net / static_cast<double>(n)};
+}
+
+std::string UtilizationTimeline::tsv(std::size_t max_rows) const {
+  std::ostringstream out;
+  if (times_.empty() || max_rows == 0) return out.str();
+  const std::size_t stride = std::max<std::size_t>(1, times_.size() / max_rows);
+  for (std::size_t i = 0; i < times_.size(); i += stride) {
+    out << times_[i] << '\t' << values_[i].cpu << '\t' << values_[i].net << '\n';
+  }
+  return out.str();
+}
+
+double RunSummary::mean_jct() const {
+  if (jobs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JobOutcome& j : jobs) sum += j.jct();
+  return sum / static_cast<double>(jobs.size());
+}
+
+double RunSummary::max_finish() const {
+  double latest = 0.0;
+  for (const JobOutcome& j : jobs) latest = std::max(latest, j.finish_time);
+  return latest;
+}
+
+}  // namespace harmony::exp

@@ -1,0 +1,62 @@
+#include "harmony/checkpoint.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "ps/serialization.h"
+
+namespace harmony::core {
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path CheckpointStore::path_for(JobId job) const {
+  return dir_ / ("job-" + std::to_string(job) + ".ckpt");
+}
+
+void CheckpointStore::save(JobId job, std::span<const double> model) const {
+  ps::ByteWriter writer;
+  writer.put_u32(job);
+  writer.put_doubles(model);
+
+  // Write to a temp file then rename, so a crash mid-save never leaves a
+  // truncated checkpoint behind (restart would load garbage).
+  const auto final_path = path_for(job);
+  const auto tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("CheckpointStore: cannot open " + tmp_path);
+    const auto& buf = writer.buffer();
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) throw std::runtime_error("CheckpointStore: write failed: " + tmp_path);
+  }
+  std::filesystem::rename(tmp_path, final_path);
+}
+
+std::vector<double> CheckpointStore::load(JobId job) const {
+  const auto path = path_for(job);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("CheckpointStore: no checkpoint for job " +
+                                    std::to_string(job));
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("CheckpointStore: read failed for job " +
+                                    std::to_string(job));
+
+  ps::ByteReader reader(buf);
+  const std::uint32_t stored = reader.get_u32();
+  if (stored != job) throw std::runtime_error("CheckpointStore: job id mismatch");
+  return reader.get_doubles();
+}
+
+bool CheckpointStore::exists(JobId job) const {
+  return std::filesystem::exists(path_for(job));
+}
+
+void CheckpointStore::remove(JobId job) const { std::filesystem::remove(path_for(job)); }
+
+}  // namespace harmony::core

@@ -1,0 +1,35 @@
+// Model checkpointing for pause / migrate / fault tolerance.
+//
+// When Harmony pauses a job it waits for the ongoing iteration to end, stops
+// the subtasks, and checkpoints the model parameters on disk; resume restores
+// them and reloads the (immutable) input data (§IV-B4, §VI). This store does
+// the real file I/O side of that.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+class CheckpointStore {
+ public:
+  // Creates `dir` if needed; checkpoints are one file per job inside it.
+  explicit CheckpointStore(std::filesystem::path dir);
+
+  void save(JobId job, std::span<const double> model) const;
+  std::vector<double> load(JobId job) const;
+  bool exists(JobId job) const;
+  void remove(JobId job) const;
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  std::filesystem::path path_for(JobId job) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace harmony::core

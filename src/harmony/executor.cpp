@@ -1,0 +1,108 @@
+#include "harmony/executor.h"
+
+#include <cassert>
+
+namespace harmony::core {
+
+SubtaskExecutor::SubtaskExecutor(Params params) {
+  const std::size_t cpu_slots = params.cpu_slots == 0 ? 1 : params.cpu_slots;
+  for (std::size_t i = 0; i < cpu_slots; ++i)
+    cpu_.workers.emplace_back([this] { worker_loop(cpu_); });
+  const std::size_t net_slots = params.network_slots == 0 ? 1 : params.network_slots;
+  for (std::size_t i = 0; i < net_slots; ++i)
+    net_.workers.emplace_back([this] { worker_loop(net_); });
+}
+
+SubtaskExecutor::~SubtaskExecutor() {
+  stop_lane(cpu_);
+  stop_lane(net_);
+  // jthread joins on destruction.
+}
+
+void SubtaskExecutor::stop_lane(Lane& lane) {
+  {
+    std::scoped_lock lock(lane.mu);
+    lane.stopping = true;
+  }
+  lane.cv.notify_all();
+}
+
+void SubtaskExecutor::submit(Subtask subtask) {
+  Lane& lane = subtask.type == SubtaskType::kComp ? cpu_ : net_;
+  {
+    std::scoped_lock lock(lane.mu);
+    lane.queue.push_back(std::move(subtask));
+  }
+  lane.cv.notify_one();
+}
+
+void SubtaskExecutor::worker_loop(Lane& lane) {
+  for (;;) {
+    Subtask task;
+    {
+      std::unique_lock lock(lane.mu);
+      lane.cv.wait(lock, [&] { return lane.stopping || !lane.queue.empty(); });
+      if (lane.stopping && lane.queue.empty()) return;
+      task = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      ++lane.running;
+    }
+    // One job's exception must not crash the shared runtime (§VI). The
+    // completion callback still runs so barriers don't hang; the failure
+    // handler lets the owner mark the job failed.
+    try {
+      if (task.body) task.body();
+    } catch (const std::exception& e) {
+      std::function<void(JobId, const std::string&)> handler;
+      {
+        std::scoped_lock lock(failure_mu_);
+        ++failures_;
+        handler = failure_handler_;
+      }
+      if (handler) handler(task.job, e.what());
+    }
+    if (task.on_complete) task.on_complete();
+    {
+      std::scoped_lock lock(lane.mu);
+      --lane.running;
+      ++lane.done;
+      if (lane.queue.empty() && lane.running == 0) lane.idle_cv.notify_all();
+    }
+  }
+}
+
+void SubtaskExecutor::drain() {
+  for (Lane* lane : {&cpu_, &net_}) {
+    std::unique_lock lock(lane->mu);
+    lane->idle_cv.wait(lock, [&] { return lane->queue.empty() && lane->running == 0; });
+  }
+}
+
+std::size_t SubtaskExecutor::cpu_queue_length() const {
+  std::scoped_lock lock(cpu_.mu);
+  return cpu_.queue.size();
+}
+
+std::size_t SubtaskExecutor::net_queue_length() const {
+  std::scoped_lock lock(net_.mu);
+  return net_.queue.size();
+}
+
+std::uint64_t SubtaskExecutor::completed(SubtaskType type) const {
+  const Lane& lane = type == SubtaskType::kComp ? cpu_ : net_;
+  std::scoped_lock lock(lane.mu);
+  return lane.done;
+}
+
+std::uint64_t SubtaskExecutor::failures() const {
+  std::scoped_lock lock(failure_mu_);
+  return failures_;
+}
+
+void SubtaskExecutor::set_failure_handler(
+    std::function<void(JobId, const std::string&)> handler) {
+  std::scoped_lock lock(failure_mu_);
+  failure_handler_ = std::move(handler);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,85 @@
+// Per-machine subtask executor (§IV-A, Fig. 7).
+//
+// Two lanes, mirroring the paper's RunnerQueues:
+//  * the CPU lane runs exactly one COMP subtask at a time — "a single CPU
+//    subtask usually uses almost all of the provided CPU resources";
+//  * the network lane admits up to two concurrent COMM subtasks (a primary
+//    and a secondary) because a single network subtask leaves the link idle
+//    while servers process requests; the secondary fills those gaps, and the
+//    NIC token bucket naturally makes it yield whenever the primary is
+//    actively transferring.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harmony/subtask.h"
+
+namespace harmony::core {
+
+class SubtaskExecutor {
+ public:
+  struct Params {
+    // Concurrent COMP subtasks. Harmony's discipline is exactly one (a COMP
+    // subtask "uses almost all of the provided CPU resources"); the naive
+    // baseline raises this so co-located jobs' COMP steps genuinely contend.
+    std::size_t cpu_slots = 1;
+    // Concurrent COMM subtasks (primary + secondary by default).
+    std::size_t network_slots = 2;
+  };
+
+  SubtaskExecutor() : SubtaskExecutor(Params{}) {}
+  explicit SubtaskExecutor(Params params);
+  ~SubtaskExecutor();
+
+  SubtaskExecutor(const SubtaskExecutor&) = delete;
+  SubtaskExecutor& operator=(const SubtaskExecutor&) = delete;
+
+  // Enqueues a subtask into the lane matching its type. Thread-safe.
+  void submit(Subtask subtask);
+
+  // Blocks until both lanes are empty and idle.
+  void drain();
+
+  std::size_t cpu_queue_length() const;
+  std::size_t net_queue_length() const;
+  std::uint64_t completed(SubtaskType type) const;
+
+  // Exceptions thrown by subtask bodies are caught so one job's failure
+  // cannot take down the shared runtime (§VI "the shared runtime catches all
+  // exceptions"); they are counted here and reported via the failure hook.
+  std::uint64_t failures() const;
+
+  // Invoked (on the executor thread) when a subtask body throws; receives the
+  // owning job and the exception message. Set before submitting work.
+  void set_failure_handler(std::function<void(JobId, const std::string&)> handler);
+
+ private:
+  struct Lane {
+    mutable std::mutex mu;
+    std::condition_variable cv;        // wakes workers
+    std::condition_variable idle_cv;   // wakes drain()
+    std::deque<Subtask> queue;
+    std::size_t running = 0;
+    std::uint64_t done = 0;
+    bool stopping = false;
+    std::vector<std::jthread> workers;
+  };
+
+  void worker_loop(Lane& lane);
+  static void stop_lane(Lane& lane);
+
+  Lane cpu_;
+  Lane net_;
+
+  mutable std::mutex failure_mu_;
+  std::uint64_t failures_ = 0;
+  std::function<void(JobId, const std::string&)> failure_handler_;
+};
+
+}  // namespace harmony::core

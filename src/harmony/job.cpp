@@ -1,0 +1,23 @@
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kWaiting:
+      return "waiting";
+    case JobState::kProfiling:
+      return "profiling";
+    case JobState::kProfiled:
+      return "profiled";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kPaused:
+      return "paused";
+    case JobState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+}  // namespace harmony::core

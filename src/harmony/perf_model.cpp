@@ -1,0 +1,67 @@
+#include "harmony/perf_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace harmony::core {
+
+double PerfModel::group_iteration_time(const GroupShape& group) {
+  assert(group.machines > 0);
+  double sum_cpu = 0.0;
+  double sum_net = 0.0;
+  double max_itr = 0.0;
+  for (const JobProfile& j : group.jobs) {
+    sum_cpu += j.t_cpu(group.machines);
+    sum_net += j.t_net;
+    max_itr = std::max(max_itr, j.t_itr(group.machines));
+  }
+  return std::max({sum_cpu, sum_net, max_itr});
+}
+
+Utilization PerfModel::group_utilization(const GroupShape& group) {
+  const double t_itr = group_iteration_time(group);
+  if (t_itr <= 0.0) return {};
+  double sum_cpu = 0.0;
+  double sum_net = 0.0;
+  for (const JobProfile& j : group.jobs) {
+    sum_cpu += j.t_cpu(group.machines);
+    sum_net += j.t_net;
+  }
+  return Utilization{sum_cpu / t_itr, sum_net / t_itr};
+}
+
+Utilization PerfModel::cluster_utilization(std::span<const GroupShape> groups) {
+  double total_machines = 0.0;
+  Utilization acc;
+  for (const GroupShape& g : groups) {
+    if (g.jobs.empty() || g.machines == 0) continue;
+    const Utilization u = group_utilization(g);
+    const auto m = static_cast<double>(g.machines);
+    acc.cpu += m * u.cpu;
+    acc.net += m * u.net;
+    total_machines += m;
+  }
+  if (total_machines <= 0.0) return {};
+  return Utilization{acc.cpu / total_machines, acc.net / total_machines};
+}
+
+double PerfModel::score_scalar(const Utilization& u, std::size_t total_jobs,
+                               std::size_t total_groups) const {
+  const double util =
+      params_.cpu_weight * u.cpu + (1.0 - params_.cpu_weight) * u.net;
+  const double extra_jobs =
+      total_jobs > total_groups ? static_cast<double>(total_jobs - total_groups) : 0.0;
+  return util - params_.per_job_penalty * extra_jobs;
+}
+
+double PerfModel::score(std::span<const GroupShape> groups) const {
+  std::size_t jobs = 0;
+  std::size_t nonempty = 0;
+  for (const GroupShape& g : groups) {
+    jobs += g.jobs.size();
+    if (!g.jobs.empty()) ++nonempty;
+  }
+  return score_scalar(cluster_utilization(groups), jobs, nonempty);
+}
+
+}  // namespace harmony::core

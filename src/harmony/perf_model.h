@@ -1,0 +1,68 @@
+// Harmony's analytical performance model (§IV-B2, Eq. 1–4).
+//
+// Given the profiled subtask times of the jobs in a group and the group's
+// machine count (DoP), the model predicts the group iteration time and the
+// CPU/network utilization that subtask-pipelined execution will achieve.
+// The scheduler searches over groupings/allocations by evaluating this model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+// Two-dimensional utilization vector (Eq. 3 / Eq. 4).
+struct Utilization {
+  double cpu = 0.0;
+  double net = 0.0;
+
+  bool operator==(const Utilization&) const = default;
+};
+
+// A candidate group: the profiles of its member jobs plus its DoP.
+struct GroupShape {
+  std::vector<JobProfile> jobs;
+  std::size_t machines = 0;
+};
+
+class PerfModel {
+ public:
+  struct Params {
+    // Weight of CPU utilization in the scalar score; the paper treats CPU as
+    // more important than network "since CPU resources directly contribute to
+    // the job progress" (§IV-B2).
+    double cpu_weight = 0.7;
+    // Soft preference for fewer jobs per group ("for shorter JCTs and lower
+    // memory pressure"): each extra job beyond the first costs this much of
+    // the score. A tie-breaker, small enough that real utilization gains
+    // always dominate at cluster scale.
+    double per_job_penalty = 0.002;
+  };
+
+  PerfModel() : PerfModel(Params{}) {}
+  explicit PerfModel(Params params) : params_(params) {}
+
+  // Eq. 1: T_g_itr = max(Σ T_cpu, Σ T_net, max_j T_j_itr).
+  static double group_iteration_time(const GroupShape& group);
+
+  // Eq. 3: per-resource busy fraction within a group iteration.
+  static Utilization group_utilization(const GroupShape& group);
+
+  // Eq. 4: machine-weighted average across groups.
+  static Utilization cluster_utilization(std::span<const GroupShape> groups);
+
+  // Scalar objective the scheduler maximizes: weighted utilization minus the
+  // small-group preference penalty.
+  double score(std::span<const GroupShape> groups) const;
+  double score_scalar(const Utilization& u, std::size_t total_jobs,
+                      std::size_t total_groups) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,57 @@
+// Online profiler (§IV-B1).
+//
+// Workers report the measured durations of each COMP and COMM subtask along
+// with the group's machine count; the profiler folds them into
+// moving-average estimates and exposes DoP-normalized JobProfiles to the
+// scheduler. Subtask execution keeps contention out of the measurements, so
+// a small number of samples suffices ("profiled metrics of subtasks can be
+// meaningfully reused, while being updated using moving averages").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+class Profiler {
+ public:
+  struct Params {
+    double ema_alpha = 0.3;
+    // Samples needed before a job graduates from profiling to profiled.
+    std::size_t min_samples = 3;
+  };
+
+  Profiler() : Profiler(Params{}) {}
+  explicit Profiler(Params params) : params_(params) {}
+
+  // Records one iteration's measurements for `job` while it ran on
+  // `machines` machines: total COMP seconds and total COMM seconds.
+  void record(JobId job, std::size_t machines, double t_cpu, double t_net);
+
+  bool has_profile(JobId job) const;
+  // Ready once min_samples iterations have been folded in.
+  bool is_profiled(JobId job) const;
+
+  // DoP-invariant profile (cpu_work = T_cpu * m from Eq. 2).
+  std::optional<JobProfile> profile(JobId job) const;
+
+  std::size_t sample_count(JobId job) const;
+  void forget(JobId job);
+
+ private:
+  struct Entry {
+    MovingAverage cpu_work;
+    MovingAverage t_net;
+    std::size_t samples = 0;
+    Entry(double alpha) : cpu_work(alpha), t_net(alpha) {}
+  };
+
+  Params params_;
+  std::unordered_map<JobId, Entry> entries_;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,175 @@
+#include "harmony/regrouper.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace harmony::core {
+
+Regrouper::Regrouper(const Scheduler& scheduler, Params params)
+    : scheduler_(scheduler), params_(params) {}
+
+std::vector<GroupShape> Regrouper::to_shapes(std::span<const RunningGroup> groups) {
+  std::vector<GroupShape> shapes;
+  shapes.reserve(groups.size());
+  for (const RunningGroup& g : groups) {
+    GroupShape s;
+    s.machines = g.machines;
+    for (const SchedJob& j : g.jobs) s.jobs.push_back(j.profile);
+    shapes.push_back(std::move(s));
+  }
+  return shapes;
+}
+
+bool Regrouper::similar(const JobProfile& a, const JobProfile& b, std::size_t dop) const {
+  const double itr_err = relative_error(a.t_itr(dop), b.t_itr(dop));
+  const double ratio_err = relative_error(a.comp_ratio(dop), b.comp_ratio(dop));
+  return itr_err <= params_.similarity && ratio_err <= params_.similarity;
+}
+
+RegroupAction Regrouper::on_job_arrival(const SchedJob& new_job,
+                                        std::span<const SchedJob> idle,
+                                        std::span<const RunningGroup> groups) const {
+  RegroupAction action;
+  // Other profiled/paused jobs exist => the scheduler already chose not to
+  // run them; the new arrival waits with them.
+  if (!idle.empty() || groups.empty()) return action;
+
+  auto shapes = to_shapes(groups);
+  const double current = scheduler_.model().score(shapes);
+
+  double best_score = current;
+  std::size_t best_group = groups.size();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    shapes[g].jobs.push_back(new_job.profile);
+    const double score = scheduler_.model().score(shapes);
+    shapes[g].jobs.pop_back();
+    if (score > best_score) {
+      best_score = score;
+      best_group = g;
+    }
+  }
+  if (best_group == groups.size()) return action;  // no group improves U: wait
+
+  action.kind = RegroupAction::Kind::kAddToGroup;
+  action.group_index = best_group;
+  return action;
+}
+
+RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t group_index,
+                                       std::span<const SchedJob> idle,
+                                       std::span<const RunningGroup> groups,
+                                       std::size_t spare_machines) const {
+  RegroupAction action;
+  if (group_index >= groups.size()) return action;
+  const std::size_t dop = std::max<std::size_t>(1, groups[group_index].machines);
+
+  // (1) One similar job.
+  for (const SchedJob& cand : idle) {
+    if (similar(cand.profile, finished.profile, dop)) {
+      action.kind = RegroupAction::Kind::kReplace;
+      action.group_index = group_index;
+      action.replacements = {cand};
+      return action;
+    }
+  }
+
+  // (2) A bunch (pair) of idle jobs whose *sums* match the finished job:
+  // total iteration time within 5 % and summed comp/comm ratio within 5 %.
+  const double target_itr = finished.profile.t_itr(dop);
+  const double target_ratio = finished.profile.comp_ratio(dop);
+  for (std::size_t a = 0; a < idle.size(); ++a) {
+    for (std::size_t b = a + 1; b < idle.size(); ++b) {
+      const double sum_cpu = idle[a].profile.t_cpu(dop) + idle[b].profile.t_cpu(dop);
+      const double sum_net = idle[a].profile.t_net + idle[b].profile.t_net;
+      const double sum_itr = sum_cpu + sum_net;
+      const double ratio = sum_itr > 0.0 ? sum_cpu / sum_itr : 0.0;
+      if (relative_error(sum_itr, target_itr) <= params_.similarity &&
+          relative_error(ratio, target_ratio) <= params_.similarity) {
+        action.kind = RegroupAction::Kind::kReplace;
+        action.group_index = group_index;
+        action.replacements = {idle[a], idle[b]};
+        return action;
+      }
+    }
+  }
+
+  // (3) Involve other groups, smallest-first, via Algorithm 1. We grow the
+  // set of participating groups and keep the smallest decision unless a
+  // bigger one wins by more than min_benefit.
+  auto shapes = to_shapes(groups);
+  const double current_score = scheduler_.model().score(shapes);
+
+  // Order candidate partner groups by job count (the paper starts with the
+  // group with the fewest jobs).
+  std::vector<std::size_t> partners;
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    if (g != group_index) partners.push_back(g);
+  std::sort(partners.begin(), partners.end(), [&groups](std::size_t a, std::size_t b) {
+    return groups[a].jobs.size() < groups[b].jobs.size();
+  });
+
+  std::optional<RegroupAction> best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best_job_count = SIZE_MAX;
+
+  std::vector<std::size_t> involved = {group_index};
+  std::vector<SchedJob> pool(groups[group_index].jobs);
+  // Idle jobs participate too (they may fill the hole).
+  pool.insert(pool.end(), idle.begin(), idle.end());
+  std::size_t machines = groups[group_index].machines + spare_machines;
+
+  for (std::size_t step = 0; step <= partners.size(); ++step) {
+    ScheduleDecision decision = scheduler_.schedule(pool, machines);
+    if (!decision.empty()) {
+      // Score of the whole cluster if this decision replaces the involved
+      // groups: involved groups are re-shaped, others stay.
+      std::vector<GroupShape> candidate_shapes;
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (std::find(involved.begin(), involved.end(), g) != involved.end()) continue;
+        candidate_shapes.push_back(shapes[g]);
+      }
+      for (const GroupPlan& plan : decision.groups) {
+        GroupShape s;
+        s.machines = plan.machines;
+        for (JobId id : plan.jobs) {
+          auto it = std::find_if(pool.begin(), pool.end(),
+                                 [id](const SchedJob& j) { return j.id == id; });
+          if (it != pool.end()) s.jobs.push_back(it->profile);
+        }
+        candidate_shapes.push_back(std::move(s));
+      }
+      const double score = scheduler_.model().score(candidate_shapes);
+      const std::size_t jobs_touched = pool.size();
+      // Prefer fewer jobs unless the larger decision is >5 % better.
+      const bool better =
+          !best ||
+          (jobs_touched < best_job_count && score >= best_score * (1.0 - params_.min_benefit)) ||
+          score > best_score * (1.0 + params_.min_benefit);
+      if (better) {
+        RegroupAction a;
+        a.kind = RegroupAction::Kind::kReschedule;
+        a.decision = decision;
+        a.groups_involved = involved;
+        best = std::move(a);
+        best_score = score;
+        best_job_count = jobs_touched;
+      }
+    }
+    if (step == partners.size()) break;
+    const std::size_t next = partners[step];
+    involved.push_back(next);
+    pool.insert(pool.end(), groups[next].jobs.begin(), groups[next].jobs.end());
+    machines += groups[next].machines;
+  }
+
+  // Skip regrouping entirely when the expected benefit is under 5 % of U.
+  if (!best) return action;
+  if (best_score - current_score < params_.min_benefit * std::max(current_score, 1e-9))
+    return action;
+  return *best;
+}
+
+}  // namespace harmony::core

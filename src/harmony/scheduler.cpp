@@ -1,0 +1,231 @@
+#include "harmony/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace harmony::core {
+namespace {
+
+// Per-group resource imbalance: positive = CPU-heavy, negative = network-heavy.
+double imbalance(const std::vector<SchedJob>& group, std::size_t machines) {
+  double cpu = 0.0;
+  double net = 0.0;
+  for (const SchedJob& j : group) {
+    cpu += j.profile.t_cpu(machines);
+    net += j.profile.t_net;
+  }
+  return cpu - net;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Params params) : params_(params), model_(params.model) {}
+
+std::size_t Scheduler::pick_num_groups(std::span<const SchedJob> jobs,
+                                       std::size_t machines) const {
+  if (jobs.empty() || machines == 0) return 1;
+  const std::size_t max_groups = std::min(jobs.size(), machines);
+  const std::size_t min_groups = std::min(
+      max_groups,
+      (jobs.size() + params_.max_jobs_per_group - 1) / params_.max_jobs_per_group);
+  std::size_t best_ng = min_groups;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
+    // All groups share DoP = machines / ng (Algorithm 1 assumes equal DoP
+    // while searching; allocate_machines refines it afterwards).
+    const double dop = static_cast<double>(machines) / static_cast<double>(ng);
+    double cost = 0.0;
+    for (const SchedJob& j : jobs)
+      cost += std::abs(j.profile.cpu_work / dop - j.profile.t_net);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_ng = ng;
+    }
+  }
+  return best_ng;
+}
+
+std::vector<std::vector<SchedJob>> Scheduler::assign_jobs(std::span<const SchedJob> jobs,
+                                                          std::size_t num_groups,
+                                                          std::size_t dop_hint) const {
+  if (num_groups == 0) throw std::invalid_argument("assign_jobs: zero groups");
+  const std::size_t dop = std::max<std::size_t>(1, dop_hint);
+
+  // Sort by iteration time (at the shared DoP), descending, so jobs of
+  // similar size are adjacent — spreading large jobs around would make every
+  // group job-bound (§IV-B3).
+  std::vector<SchedJob> sorted(jobs.begin(), jobs.end());
+  std::sort(sorted.begin(), sorted.end(), [dop](const SchedJob& a, const SchedJob& b) {
+    return a.profile.t_itr(dop) > b.profile.t_itr(dop);
+  });
+
+  // Fill groups one by one with contiguous runs of the sorted list: similar
+  // iteration times stay together.
+  std::vector<std::vector<SchedJob>> groups(num_groups);
+  const std::size_t base = sorted.size() / num_groups;
+  const std::size_t extra = sorted.size() % num_groups;
+  std::size_t cursor = 0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t take = base + (g < extra ? 1 : 0);
+    for (std::size_t k = 0; k < take; ++k) groups[g].push_back(sorted[cursor++]);
+  }
+
+  // Fine-tuning: repeatedly pick the most imbalanced group, find the group
+  // with the most complementary resource use, and swap the job pair that
+  // minimizes the two groups' combined imbalance.
+  for (std::size_t round = 0; round < params_.max_swap_rounds; ++round) {
+    // Most imbalanced group.
+    std::size_t worst = 0;
+    double worst_abs = -1.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const double imb = std::abs(imbalance(groups[g], dop));
+      if (imb > worst_abs) {
+        worst_abs = imb;
+        worst = g;
+      }
+    }
+    const double worst_imb = imbalance(groups[worst], dop);
+
+    // Most complementary partner: imbalance of opposite sign, largest product.
+    std::size_t partner = groups.size();
+    double best_comp = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (g == worst) continue;
+      const double comp = -worst_imb * imbalance(groups[g], dop);
+      if (comp > best_comp) {
+        best_comp = comp;
+        partner = g;
+      }
+    }
+    if (partner == groups.size()) break;  // nothing complementary: done
+
+    // Best swap between the two groups.
+    double current = std::abs(worst_imb) + std::abs(imbalance(groups[partner], dop));
+    double best_after = current;
+    std::size_t best_a = groups[worst].size();
+    std::size_t best_b = groups[partner].size();
+    for (std::size_t a = 0; a < groups[worst].size(); ++a) {
+      for (std::size_t b = 0; b < groups[partner].size(); ++b) {
+        const double da = groups[worst][a].profile.t_cpu(dop) - groups[worst][a].profile.t_net;
+        const double db =
+            groups[partner][b].profile.t_cpu(dop) - groups[partner][b].profile.t_net;
+        const double after = std::abs(worst_imb - da + db) +
+                             std::abs(imbalance(groups[partner], dop) - db + da);
+        if (after + 1e-12 < best_after) {
+          best_after = after;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == groups[worst].size()) break;  // no improving swap: converged
+    std::swap(groups[worst][best_a], groups[partner][best_b]);
+  }
+  return groups;
+}
+
+std::vector<std::size_t> Scheduler::allocate_machines(
+    const std::vector<std::vector<SchedJob>>& groups, std::size_t machines) const {
+  if (groups.empty()) return {};
+  if (machines < groups.size())
+    throw std::invalid_argument("allocate_machines: fewer machines than groups");
+
+  std::vector<std::size_t> alloc(groups.size(), 1);
+  std::size_t remaining = machines - groups.size();
+
+  // Greedily hand the next machine to the group that "needs additional
+  // machines the most": the most CPU-bound one, where an extra machine
+  // shrinks Σ T_cpu (Eq. 2) and thus the group iteration time. Allocation
+  // stops at the computation/communication balance point — a machine that
+  // would tip the group further network-bound is worth more left idle for a
+  // future group than burned on inflating DoP.
+  while (remaining > 0) {
+    std::size_t best = groups.size();
+    double best_gain = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const double now_abs = std::abs(imbalance(groups[g], alloc[g]));
+      const double next_abs = std::abs(imbalance(groups[g], alloc[g] + 1));
+      const double gain = now_abs - next_abs;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = g;
+      }
+    }
+    if (best == groups.size()) break;  // every group is at (or past) balance
+    ++alloc[best];
+    --remaining;
+  }
+  return alloc;
+}
+
+std::vector<GroupShape> Scheduler::shapes(const std::vector<std::vector<SchedJob>>& groups,
+                                          const std::vector<std::size_t>& machines) {
+  assert(groups.size() == machines.size());
+  std::vector<GroupShape> out;
+  out.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    GroupShape shape;
+    shape.machines = machines[g];
+    shape.jobs.reserve(groups[g].size());
+    for (const SchedJob& j : groups[g]) shape.jobs.push_back(j.profile);
+    out.push_back(std::move(shape));
+  }
+  return out;
+}
+
+ScheduleDecision Scheduler::evaluate(std::span<const SchedJob> jobs,
+                                     std::size_t machines) const {
+  const std::size_t ng = pick_num_groups(jobs, machines);
+  const std::size_t dop_hint = std::max<std::size_t>(1, machines / ng);
+  auto assignment = assign_jobs(jobs, ng, dop_hint);
+  // Drop empty groups (possible when jobs < groups after the n_G search).
+  std::erase_if(assignment, [](const auto& g) { return g.empty(); });
+  auto alloc = allocate_machines(assignment, machines);
+  const auto group_shapes = shapes(assignment, alloc);
+
+  ScheduleDecision decision;
+  decision.predicted_util = PerfModel::cluster_utilization(group_shapes);
+  decision.score = model_.score(group_shapes);
+  // Packing more jobs than machines into a group makes utilization look
+  // great while starving every job's progress; reject such shapes outright.
+  for (std::size_t g = 0; g < assignment.size(); ++g)
+    if (assignment[g].size() > alloc[g]) decision.score -= 1.0;
+  decision.jobs_scheduled = jobs.size();
+  decision.groups.reserve(assignment.size());
+  for (std::size_t g = 0; g < assignment.size(); ++g) {
+    GroupPlan plan;
+    plan.machines = alloc[g];
+    for (const SchedJob& j : assignment[g]) plan.jobs.push_back(j.id);
+    decision.groups.push_back(std::move(plan));
+  }
+  return decision;
+}
+
+ScheduleDecision Scheduler::schedule(std::span<const SchedJob> jobs,
+                                     std::size_t machines) const {
+  if (machines == 0) throw std::invalid_argument("schedule: zero machines");
+  if (jobs.empty()) return {};
+  for (const SchedJob& j : jobs)
+    if (!j.profile.valid()) throw std::invalid_argument("schedule: invalid profile");
+
+  // Algorithm 1: grow the candidate prefix while the modelled utilization
+  // improves; stop once it stops improving (with a little patience so one
+  // awkward job in the queue does not end the search).
+  ScheduleDecision best = evaluate(jobs.first(1), machines);
+  std::size_t since_improvement = 0;
+  for (std::size_t nj = 2; nj <= jobs.size(); ++nj) {
+    ScheduleDecision candidate = evaluate(jobs.first(nj), machines);
+    if (candidate.score > best.score) {
+      best = std::move(candidate);
+      since_improvement = 0;
+    } else if (++since_improvement >= params_.growth_patience) {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace harmony::core

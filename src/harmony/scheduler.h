@@ -1,0 +1,96 @@
+// Harmony's job scheduling algorithm (§IV-B3, Algorithm 1).
+//
+// Given the ordered pool of schedulable jobs (profiled ∪ paused ∪ running)
+// and M machines, the scheduler incrementally grows the set of jobs to
+// co-schedule. For each candidate set it:
+//   1. picks the number of groups n_G* that best balances each job's COMP
+//      time (which scales with group DoP = M / n_G) against its COMM time;
+//   2. assigns jobs to groups — sorted by iteration time so similarly-sized
+//      jobs land together (avoiding job-bound groups), then fine-tuned by
+//      swapping jobs between the most imbalanced and the most complementary
+//      groups;
+//   3. allocates machines — one per group, then greedily to the most
+//      CPU-bound group.
+// The loop stops as soon as the modelled cluster utilization stops improving.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "harmony/job.h"
+#include "harmony/perf_model.h"
+
+namespace harmony::core {
+
+// One job as the scheduler sees it.
+struct SchedJob {
+  JobId id = kNoJob;
+  JobProfile profile;
+};
+
+struct GroupPlan {
+  std::vector<JobId> jobs;
+  std::size_t machines = 0;
+};
+
+struct ScheduleDecision {
+  std::vector<GroupPlan> groups;
+  Utilization predicted_util;
+  double score = 0.0;
+  // How many jobs from the front of the input list were placed.
+  std::size_t jobs_scheduled = 0;
+
+  bool empty() const noexcept { return groups.empty(); }
+};
+
+class Scheduler {
+ public:
+  struct Params {
+    // Fine-tuning swap passes are capped to keep scheduling O(jobs^2) worst
+    // case; the paper's loop runs "until there are no possible swap cases".
+    std::size_t max_swap_rounds = 64;
+    // The nj-growth loop stops after this many consecutive non-improving
+    // prefixes (a strict first-dip stop is brittle when the queue orders
+    // dissimilar jobs next to each other).
+    std::size_t growth_patience = 6;
+    // Upper bound on co-located jobs per group (memory pressure and per-job
+    // progress both degrade with very wide groups; the paper's groups hold
+    // 2-6 jobs typically, Fig. 12).
+    std::size_t max_jobs_per_group = 6;
+    PerfModel::Params model;
+  };
+
+  Scheduler() : Scheduler(Params{}) {}
+  explicit Scheduler(Params params);
+
+  // Algorithm 1. `jobs` must be in queue order; all profiles must be valid.
+  ScheduleDecision schedule(std::span<const SchedJob> jobs, std::size_t machines) const;
+
+  // Step 2 of the algorithm, exposed for tests and for the regrouper: assigns
+  // `jobs` into `num_groups` groups (no machine counts yet).
+  std::vector<std::vector<SchedJob>> assign_jobs(std::span<const SchedJob> jobs,
+                                                 std::size_t num_groups,
+                                                 std::size_t dop_hint) const;
+
+  // Step 3: distributes `machines` across the groups (>= 1 each).
+  std::vector<std::size_t> allocate_machines(
+      const std::vector<std::vector<SchedJob>>& groups, std::size_t machines) const;
+
+  // Step 1: the n_G* that minimizes Σ_j |T_cpu_j(M/n_G) - T_net_j|.
+  std::size_t pick_num_groups(std::span<const SchedJob> jobs, std::size_t machines) const;
+
+  const PerfModel& model() const noexcept { return model_; }
+
+ private:
+  // Converts an assignment + allocation into GroupShapes for the model.
+  static std::vector<GroupShape> shapes(const std::vector<std::vector<SchedJob>>& groups,
+                                        const std::vector<std::size_t>& machines);
+
+  ScheduleDecision evaluate(std::span<const SchedJob> jobs, std::size_t machines) const;
+
+  Params params_;
+  PerfModel model_;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,142 @@
+// Dynamic data reloading (§IV-C).
+//
+// With many co-located jobs, keeping every job's input partition resident
+// blows past machine memory (OOM) or drives the managed runtime into heavy
+// GC. Harmony keeps a per-job fraction α_j = B_disk / B_total of input blocks
+// on disk, reloading the disk-side blocks in the background while other jobs'
+// COMP subtasks occupy the CPU. α_j is tuned by hill climbing: raising α
+// costs reload/deserialization time, lowering it costs GC pressure.
+//
+// Three pieces live here:
+//  * BlockManager  — block-granular accounting of where a job's input lives;
+//  * SpillCostModel — pure functions turning (α, job, group, machine) into
+//    resident bytes, reload blocking time and deserialization overhead —
+//    shared by the scheduler's predictions and the simulator's "ground truth";
+//  * AlphaController — the per-job hill-climbing loop, seeded from a memory
+//    estimate, that adapts α to minimize observed iteration time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "cluster/memory_model.h"
+
+namespace harmony::core {
+
+// ---------------------------------------------------------------------------
+
+class BlockManager {
+ public:
+  // Splits `total_bytes` of input into blocks of `block_bytes` (last one may
+  // be short). All blocks start in memory.
+  BlockManager(double total_bytes, double block_bytes);
+
+  std::size_t total_blocks() const noexcept { return blocks_.size(); }
+  std::size_t disk_blocks() const noexcept;
+  double alpha() const noexcept;
+
+  double memory_bytes() const noexcept;
+  double disk_bytes() const noexcept;
+
+  // Moves blocks between tiers until the disk fraction is as close to
+  // `target_alpha` as block granularity allows. Spills coldest-first (highest
+  // index) and reloads in the opposite order, so the memory-side prefix is
+  // stable across adjustments.
+  void set_alpha(double target_alpha);
+
+ private:
+  struct Block {
+    double bytes;
+    bool on_disk;
+  };
+  std::vector<Block> blocks_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct SpillCosts {
+  double resident_bytes = 0.0;     // job's per-machine memory footprint
+  double reload_seconds = 0.0;     // disk read time per iteration (per machine)
+  double deserialize_seconds = 0.0;  // CPU cost of re-materializing blocks
+};
+
+class SpillCostModel {
+ public:
+  struct Params {
+    // Fixed per-machine runtime overhead per job (buffers, task state).
+    double per_job_overhead_bytes = 96.0 * cluster::kMiB;
+    // CPU seconds to deserialize one byte (measured from the PS runtime's
+    // serializer: ~1.6 GB/s on one core).
+    double deserialize_sec_per_byte = 1.0 / (1.6e9);
+    // Managed-runtime expansion: resident object graphs are larger than the
+    // raw serialized bytes that move to/from disk.
+    double input_mem_expansion = 2.2;
+    double model_mem_expansion = 2.0;
+  };
+
+  SpillCostModel() : SpillCostModel(Params{}) {}
+  explicit SpillCostModel(Params params) : params_(params) {}
+
+  // Costs of running job (input/model bytes cluster-wide) with disk ratio
+  // `alpha` on a group of `machines` machines of the given spec.
+  SpillCosts costs(double input_bytes, double model_bytes, double alpha,
+                   std::size_t machines, const cluster::MachineSpec& spec) const;
+
+  // Time the COMP pipeline stalls waiting for reloads, given the reload must
+  // overlap a background window of `overlap_seconds` (the part of the group
+  // iteration this job is not computing).
+  static double blocking_seconds(const SpillCosts& costs, double overlap_seconds);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+// ---------------------------------------------------------------------------
+
+class AlphaController {
+ public:
+  struct Params {
+    double step = 0.1;          // initial hill-climb step
+    double min_step = 0.0125;   // step shrinks to this before settling
+    double tolerance = 0.01;    // relative objective change treated as noise
+    // Exploration bounds. With many co-tenants each job's GC cost is mostly
+    // externalized (occupancy is shared), so the climb is not allowed to walk
+    // arbitrarily far below the memory-estimate floor.
+    double min_alpha = 0.0;
+    double max_alpha = 1.0;
+  };
+
+  explicit AlphaController(double initial_alpha) : AlphaController(initial_alpha, Params{}) {}
+  AlphaController(double initial_alpha, Params params);
+
+  // Seeds α from the memory estimate (§IV-C: "determine the initial value by
+  // estimating the memory use"): the smallest α that keeps estimated
+  // occupancy below the GC threshold.
+  static double initial_alpha(double input_bytes, double model_bytes, std::size_t machines,
+                              double available_bytes_per_machine,
+                              const cluster::MemoryModelParams& mem_params,
+                              const SpillCostModel& cost_model,
+                              const cluster::MachineSpec& spec);
+
+  double alpha() const noexcept { return alpha_; }
+
+  // Feeds one observation of the objective (iteration time including GC and
+  // reload stalls) and returns the α to use next. Classic hill climbing:
+  // keep direction while improving, otherwise back up, flip and halve step.
+  double observe(double objective);
+
+  std::size_t observations() const noexcept { return observations_; }
+
+ private:
+  Params params_;
+  double alpha_;
+  double step_;
+  int direction_ = +1;
+  double best_objective_ = -1.0;  // <0 = no observation yet
+  std::size_t observations_ = 0;
+};
+
+}  // namespace harmony::core

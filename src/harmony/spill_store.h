@@ -1,0 +1,71 @@
+// Disk-backed block store: the I/O half of the §IV-C spill/reload mechanism.
+//
+// BlockManager decides *which* blocks live on disk; DiskSpillStore actually
+// moves the bytes — serializing a block to its own file, dropping the
+// in-memory copy, and deserializing it back on reload. Files use the same
+// wire format as the PS (ps::ByteWriter/ByteReader), so the deserialization
+// cost the SpillCostModel charges is the real code path's cost.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+class DiskSpillStore {
+ public:
+  // Creates `dir` if needed. Blocks are keyed by (job, block index); one
+  // file per block so reloads read exactly what they need.
+  explicit DiskSpillStore(std::filesystem::path dir);
+  ~DiskSpillStore();
+
+  DiskSpillStore(const DiskSpillStore&) = delete;
+  DiskSpillStore& operator=(const DiskSpillStore&) = delete;
+
+  // Writes the block to disk (fsync-less; spill is a cache, the in-memory
+  // source of truth is dropped by the caller afterwards).
+  void spill(JobId job, std::size_t block, std::span<const double> data);
+
+  // Reads a block back; throws if it was never spilled.
+  std::vector<double> reload(JobId job, std::size_t block);
+
+  bool contains(JobId job, std::size_t block) const;
+  void remove(JobId job, std::size_t block);
+  // Drops every block of a job (called when the job finishes or migrates
+  // with its input re-read from the original source).
+  void remove_job(JobId job);
+
+  std::size_t blocks_on_disk() const noexcept { return sizes_.size(); }
+  std::uint64_t bytes_on_disk() const noexcept { return bytes_on_disk_; }
+  std::uint64_t bytes_spilled_total() const noexcept { return spilled_total_; }
+  std::uint64_t bytes_reloaded_total() const noexcept { return reloaded_total_; }
+
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+
+ private:
+  struct Key {
+    JobId job;
+    std::size_t block;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.job) << 32) ^ k.block);
+    }
+  };
+
+  std::filesystem::path path_for(const Key& key) const;
+
+  std::filesystem::path dir_;
+  std::unordered_map<Key, std::uint64_t, KeyHash> sizes_;  // payload bytes per block
+  std::uint64_t bytes_on_disk_ = 0;
+  std::uint64_t spilled_total_ = 0;
+  std::uint64_t reloaded_total_ = 0;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,15 @@
+#include "harmony/subtask.h"
+
+namespace harmony::core {
+
+const char* to_string(SubtaskType t) noexcept {
+  switch (t) {
+    case SubtaskType::kComp:
+      return "COMP";
+    case SubtaskType::kComm:
+      return "COMM";
+  }
+  return "?";
+}
+
+}  // namespace harmony::core

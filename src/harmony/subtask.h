@@ -1,0 +1,29 @@
+// Subtasks: Harmony's fine-grained scheduling unit (§IV-A).
+//
+// A worker task is decomposed into COMP subtasks (CPU-dominant: gradient
+// computation plus the (de)serialization halves of pull/push, which Harmony
+// moves out of the communication path) and COMM subtasks (network-dominant:
+// the PULL and PUSH transfers).
+#pragma once
+
+#include <functional>
+
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+enum class SubtaskType { kComp, kComm };
+
+const char* to_string(SubtaskType t) noexcept;
+
+struct Subtask {
+  JobId job = kNoJob;
+  SubtaskType type = SubtaskType::kComp;
+  // The actual work: a gradient computation, a throttled transfer, ...
+  std::function<void()> body;
+  // Invoked after `body` returns (used to report completion to the
+  // synchronizer). Runs on the executor thread.
+  std::function<void()> on_complete;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,54 @@
+#include "harmony/synchronizer.h"
+
+#include <stdexcept>
+
+namespace harmony::core {
+
+void SubtaskSynchronizer::register_job(JobId job, std::size_t workers) {
+  if (workers == 0) throw std::invalid_argument("SubtaskSynchronizer: zero workers");
+  std::scoped_lock lock(mu_);
+  auto [it, inserted] = jobs_.try_emplace(job);
+  if (!inserted && it->second.remaining != 0)
+    throw std::logic_error("SubtaskSynchronizer: re-registering job with step in flight");
+  it->second.workers = workers;
+  it->second.remaining = 0;
+  it->second.on_all = nullptr;
+}
+
+void SubtaskSynchronizer::unregister_job(JobId job) {
+  std::scoped_lock lock(mu_);
+  jobs_.erase(job);
+}
+
+void SubtaskSynchronizer::begin_step(JobId job, std::function<void()> on_all_arrived) {
+  std::scoped_lock lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) throw std::logic_error("SubtaskSynchronizer: unknown job");
+  if (it->second.remaining != 0)
+    throw std::logic_error("SubtaskSynchronizer: previous step still in flight");
+  it->second.remaining = it->second.workers;
+  it->second.on_all = std::move(on_all_arrived);
+}
+
+void SubtaskSynchronizer::arrive(JobId job) {
+  std::function<void()> fire;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) throw std::logic_error("SubtaskSynchronizer: unknown job");
+    StepState& step = it->second;
+    if (step.remaining == 0)
+      throw std::logic_error("SubtaskSynchronizer: arrive without a step in flight");
+    if (--step.remaining == 0) fire = std::move(step.on_all);
+  }
+  // Fired outside the lock: the continuation typically begins the next step.
+  if (fire) fire();
+}
+
+std::size_t SubtaskSynchronizer::pending(JobId job) const {
+  std::scoped_lock lock(mu_);
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? 0 : it->second.remaining;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,44 @@
+// SubTask Synchronizer (§IV-A, Fig. 7): the master-side component that tracks
+// completion of a job's distributed subtasks across workers and fires a
+// continuation when the whole step is done — e.g. "when all distributed COMM
+// subtasks of job C are complete, the COMP subtask of C is enqueued".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "harmony/job.h"
+
+namespace harmony::core {
+
+class SubtaskSynchronizer {
+ public:
+  // Declares that `job`'s steps span `workers` participants.
+  void register_job(JobId job, std::size_t workers);
+  void unregister_job(JobId job);
+
+  // Begins a new synchronized step for `job`; `on_all_arrived` fires (on the
+  // thread of the last arriving worker) once all participants arrive.
+  // Steps for a job are strictly sequential: starting a new step while one is
+  // in flight is a caller bug and throws.
+  void begin_step(JobId job, std::function<void()> on_all_arrived);
+
+  // Reports one worker's completion of the current step.
+  void arrive(JobId job);
+
+  std::size_t pending(JobId job) const;
+
+ private:
+  struct StepState {
+    std::size_t workers = 0;
+    std::size_t remaining = 0;  // 0 = no step in flight
+    std::function<void()> on_all;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<JobId, StepState> jobs_;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,12 @@
+#include "ml/app.h"
+
+#include <cassert>
+
+namespace harmony::ml {
+
+void MlApp::apply_update(std::span<double> params, std::span<const double> update) const {
+  assert(params.size() == update.size());
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] += update[i];
+}
+
+}  // namespace harmony::ml

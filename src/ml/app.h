@@ -1,0 +1,58 @@
+// Application interface the PS runtime trains against.
+//
+// The Parameter-Server contract (paper §II-A): servers hold the flat model
+// parameter vector; in every mini-batch each worker PULLs the model, COMPutes
+// an additive update from its input partition, and PUSHes the update. An
+// MlApp supplies the three application-specific pieces: parameter
+// initialization, the worker-side update computation, and the server-side
+// update application, plus a full-data objective used as the convergence
+// check ("we monitor the objective value at the end of every epoch", §V-B).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace harmony::ml {
+
+class MlApp {
+ public:
+  virtual ~MlApp() = default;
+
+  virtual std::string name() const = 0;
+
+  // Total number of model parameters (the flat vector servers partition).
+  virtual std::size_t param_dim() const = 0;
+
+  // Number of input units (examples / users / documents). Workers partition
+  // [0, num_data) into contiguous ranges.
+  virtual std::size_t num_data() const = 0;
+
+  virtual void init_params(std::span<double> params) const = 0;
+
+  // Computes the additive update for input range [begin, end) under `params`.
+  // `update_out` has param_dim entries and arrives zeroed.
+  //
+  // Thread-safety: concurrent calls are safe iff their ranges are disjoint —
+  // apps with worker-local state (NMF user factors, LDA doc-topic counts)
+  // index that state by data id, so disjoint partitions touch disjoint state.
+  virtual void compute_update(std::span<const double> params, std::span<double> update_out,
+                              std::size_t begin, std::size_t end) = 0;
+
+  // Server-side update rule; default is plain addition (the worker bakes any
+  // learning-rate scaling into the update it pushes).
+  virtual void apply_update(std::span<double> params, std::span<const double> update) const;
+
+  // Full-data objective under `params` (L2 loss, negative log-likelihood...).
+  // Lower is better for every app in this suite.
+  virtual double loss(std::span<const double> params) = 0;
+
+  // Approximate bytes of input data resident on workers; feeds the memory
+  // model and the spill/reload manager.
+  virtual std::size_t input_bytes() const = 0;
+
+  // Approximate bytes of model state resident on servers.
+  std::size_t model_bytes() const { return param_dim() * sizeof(double); }
+};
+
+}  // namespace harmony::ml

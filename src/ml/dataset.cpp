@@ -1,0 +1,197 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace harmony::ml {
+namespace {
+
+// Draws a point on the unit sphere (direction for planted weights).
+std::vector<double> random_unit(Rng& rng, std::size_t dim) {
+  std::vector<double> v(dim);
+  double norm_sq = 0.0;
+  for (double& x : v) {
+    x = rng.normal(0.0, 1.0);
+    norm_sq += x * x;
+  }
+  const double inv = 1.0 / std::sqrt(std::max(norm_sq, 1e-12));
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+// Symmetric Dirichlet draw via normalized Gamma(alpha, 1) samples.
+std::vector<double> dirichlet(Rng& rng, std::size_t k, double alpha) {
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> v(k);
+  double sum = 0.0;
+  for (double& x : v) {
+    x = gamma(rng.engine());
+    sum += x;
+  }
+  for (double& x : v) x /= std::max(sum, 1e-300);
+  return v;
+}
+
+std::size_t sample_categorical(Rng& rng, const std::vector<double>& probs) {
+  double u = rng.uniform(0.0, 1.0);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return i;
+  }
+  return probs.size() - 1;
+}
+
+}  // namespace
+
+DenseDataset make_classification(std::size_t n, std::size_t dim, std::size_t classes,
+                                 double label_noise, std::uint64_t seed) {
+  assert(classes >= 2);
+  Rng rng(seed);
+  // Planted per-class weights with margin-scaled magnitude.
+  std::vector<std::vector<double>> weights;
+  weights.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto w = random_unit(rng, dim);
+    for (double& x : w) x *= 3.0;
+    weights.push_back(std::move(w));
+  }
+
+  DenseDataset ds;
+  ds.feature_dim = dim;
+  ds.num_classes = classes;
+  ds.examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DenseExample ex;
+    ex.features.resize(dim);
+    for (double& x : ex.features) x = rng.normal(0.0, 1.0);
+    std::size_t best = 0;
+    double best_logit = -1e300;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double logit =
+          dot(ex.features, weights[c]) + rng.normal(0.0, label_noise);
+      if (logit > best_logit) {
+        best_logit = logit;
+        best = c;
+      }
+    }
+    ex.label = static_cast<double>(best);
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+DenseDataset make_regression(std::size_t n, std::size_t dim, std::size_t support,
+                             double noise_std, std::uint64_t seed) {
+  assert(support <= dim);
+  Rng rng(seed);
+  std::vector<double> w(dim, 0.0);
+  // The planted weights live on the first `support` coordinates after a
+  // permutation, so recovery tests can check sparsity patterns.
+  std::vector<std::size_t> idx(dim);
+  for (std::size_t i = 0; i < dim; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  for (std::size_t i = 0; i < support; ++i)
+    w[idx[i]] = rng.normal(0.0, 1.0) + (rng.bernoulli(0.5) ? 1.0 : -1.0);
+
+  DenseDataset ds;
+  ds.feature_dim = dim;
+  ds.num_classes = 0;
+  ds.examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DenseExample ex;
+    ex.features.resize(dim);
+    for (double& x : ex.features) x = rng.normal(0.0, 1.0);
+    ex.label = dot(ex.features, w) + rng.normal(0.0, noise_std);
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+RatingsDataset make_ratings(std::size_t users, std::size_t items, std::size_t rank,
+                            double density, double noise_std, std::uint64_t seed) {
+  assert(density > 0.0 && density <= 1.0);
+  Rng rng(seed);
+
+  // Planted non-negative factors; |W_u . H_i| lands roughly in [0, ~4], then
+  // shifted into a ratings-like 1..5 band.
+  auto planted_factor = [&rng](std::size_t rows, std::size_t r) {
+    std::vector<double> f(rows * r);
+    for (double& x : f) x = std::abs(rng.normal(0.5, 0.3));
+    return f;
+  };
+  const std::vector<double> w = planted_factor(users, rank);
+  const std::vector<double> h = planted_factor(items, rank);
+
+  RatingsDataset ds;
+  ds.num_users = users;
+  ds.num_items = items;
+  ds.user_offsets.reserve(users + 1);
+  ds.user_offsets.push_back(0);
+
+  const auto per_user =
+      std::max<std::size_t>(1, static_cast<std::size_t>(density * static_cast<double>(items)));
+  for (std::size_t u = 0; u < users; ++u) {
+    // Sample `per_user` distinct items for this user.
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(per_user);
+    for (std::size_t k = 0; k < per_user; ++k)
+      chosen.push_back(static_cast<std::uint32_t>(rng.uniform_int(0, static_cast<std::int64_t>(items) - 1)));
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+
+    for (std::uint32_t item : chosen) {
+      const double truth =
+          dot(std::span<const double>(w).subspan(u * rank, rank),
+              std::span<const double>(h).subspan(item * rank, rank));
+      const double value =
+          std::clamp(1.0 + 4.0 * truth + rng.normal(0.0, noise_std), 1.0, 5.0);
+      ds.ratings.push_back(Rating{static_cast<std::uint32_t>(u), item, value});
+    }
+    ds.user_offsets.push_back(ds.ratings.size());
+  }
+  return ds;
+}
+
+std::size_t CorpusDataset::total_tokens() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : docs) n += d.tokens.size();
+  return n;
+}
+
+std::size_t CorpusDataset::bytes() const noexcept {
+  return total_tokens() * sizeof(std::uint32_t) + docs.size() * sizeof(Document);
+}
+
+CorpusDataset make_corpus(std::size_t docs, std::size_t vocab, std::size_t topics,
+                          std::size_t mean_doc_len, std::uint64_t seed) {
+  Rng rng(seed);
+
+  // Topic-word distributions: each topic prefers a Zipf-weighted slice of the
+  // vocabulary, giving realistic skewed word frequencies.
+  std::vector<std::vector<double>> topic_word(topics);
+  for (std::size_t t = 0; t < topics; ++t) {
+    topic_word[t] = dirichlet(rng, vocab, 0.08);
+  }
+
+  CorpusDataset ds;
+  ds.vocab_size = vocab;
+  ds.num_topics_hint = topics;
+  ds.docs.reserve(docs);
+  for (std::size_t d = 0; d < docs; ++d) {
+    const auto theta = dirichlet(rng, topics, 0.3);
+    const auto len = std::max<std::size_t>(
+        4, static_cast<std::size_t>(rng.exponential(static_cast<double>(mean_doc_len))));
+    Document doc;
+    doc.tokens.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t z = sample_categorical(rng, theta);
+      const std::size_t word = sample_categorical(rng, topic_word[z]);
+      doc.tokens.push_back(static_cast<std::uint32_t>(word));
+    }
+    ds.docs.push_back(std::move(doc));
+  }
+  return ds;
+}
+
+}  // namespace harmony::ml

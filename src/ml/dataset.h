@@ -1,0 +1,107 @@
+// Synthetic dataset generators.
+//
+// The paper trains on Netflix (ratings), PubMed/NYTimes (bag-of-words) and
+// Bösen-generated synthetic classification/regression data (Table I). None of
+// those are shippable here, so each generator reproduces the *statistical
+// shape* the corresponding application cares about:
+//
+//  * classification/regression — rows drawn from a planted linear/softmax
+//    model plus noise, so the optimizers have a recoverable optimum;
+//  * ratings — a low-rank matrix observed at a given density, so NMF's
+//    factorization objective is well-posed;
+//  * corpus — documents sampled from an LDA generative process with a Zipfian
+//    vocabulary, so collapsed Gibbs sampling has real topic structure to find.
+//
+// All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/linalg.h"
+
+namespace harmony::ml {
+
+// ---------------------------------------------------------------------------
+// Dense supervised data (MLR, Lasso)
+
+struct DenseExample {
+  std::vector<double> features;
+  double label = 0.0;  // class index for MLR, regression target for Lasso
+};
+
+struct DenseDataset {
+  std::size_t feature_dim = 0;
+  std::size_t num_classes = 0;  // 0 for regression
+  std::vector<DenseExample> examples;
+
+  std::size_t size() const noexcept { return examples.size(); }
+  // Approximate resident size, used for memory-footprint accounting.
+  std::size_t bytes() const noexcept {
+    return examples.size() * (feature_dim + 1) * sizeof(double);
+  }
+};
+
+// Multi-class data from a planted softmax model: class weight vectors are
+// sampled, rows are Gaussian, labels are argmax of (true logits + noise).
+DenseDataset make_classification(std::size_t n, std::size_t dim, std::size_t classes,
+                                 double label_noise, std::uint64_t seed);
+
+// Regression data from a planted sparse weight vector (Lasso's use case):
+// `support` coordinates are nonzero, the rest are exactly zero.
+DenseDataset make_regression(std::size_t n, std::size_t dim, std::size_t support,
+                             double noise_std, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Ratings data (NMF)
+
+struct Rating {
+  std::uint32_t user;
+  std::uint32_t item;
+  double value;
+};
+
+struct RatingsDataset {
+  std::size_t num_users = 0;
+  std::size_t num_items = 0;
+  // Grouped by user and sorted (user, item) so a contiguous user range is a
+  // contiguous slice — matching how workers partition input by user.
+  std::vector<Rating> ratings;
+  // ratings index of the first rating of each user (size num_users + 1).
+  std::vector<std::size_t> user_offsets;
+
+  std::size_t size() const noexcept { return ratings.size(); }
+  std::size_t bytes() const noexcept { return ratings.size() * sizeof(Rating); }
+};
+
+// Observes a planted non-negative rank-`rank` matrix at `density`, with
+// multiplicative noise; values land in a Netflix-like 1..5 range.
+RatingsDataset make_ratings(std::size_t users, std::size_t items, std::size_t rank,
+                            double density, double noise_std, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Bag-of-words corpus (LDA)
+
+struct Document {
+  // One entry per token occurrence (not per distinct word): Gibbs sampling
+  // assigns a topic to every token.
+  std::vector<std::uint32_t> tokens;
+};
+
+struct CorpusDataset {
+  std::size_t vocab_size = 0;
+  std::size_t num_topics_hint = 0;  // topics used by the generative process
+  std::vector<Document> docs;
+
+  std::size_t size() const noexcept { return docs.size(); }
+  std::size_t total_tokens() const noexcept;
+  std::size_t bytes() const noexcept;
+};
+
+// Samples documents from the LDA generative process (symmetric Dirichlet
+// priors) with a Zipf-weighted vocabulary inside each topic.
+CorpusDataset make_corpus(std::size_t docs, std::size_t vocab, std::size_t topics,
+                          std::size_t mean_doc_len, std::uint64_t seed);
+
+}  // namespace harmony::ml

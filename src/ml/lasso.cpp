@@ -1,0 +1,57 @@
+#include "ml/lasso.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.h"
+
+namespace harmony::ml {
+
+LassoApp::LassoApp(std::shared_ptr<const DenseDataset> data, LassoConfig config)
+    : data_(std::move(data)), config_(config) {
+  if (!data_ || data_->num_classes != 0)
+    throw std::invalid_argument("LassoApp: needs regression data");
+}
+
+void LassoApp::init_params(std::span<double> params) const {
+  for (double& p : params) p = 0.0;
+}
+
+void LassoApp::compute_update(std::span<const double> params, std::span<double> update_out,
+                              std::size_t begin, std::size_t end) {
+  assert(end <= data_->size() && begin <= end);
+  const double count = std::max<double>(1.0, static_cast<double>(end - begin));
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& ex = data_->examples[i];
+    const double residual = dot(ex.features, params) - ex.label;
+    // Gradient of 1/2 (x.w - y)^2 is residual * x; push -lr * grad.
+    axpy(-config_.learning_rate * residual / count, ex.features, update_out);
+  }
+}
+
+void LassoApp::apply_update(std::span<double> params, std::span<const double> update) const {
+  assert(params.size() == update.size());
+  const double threshold = config_.learning_rate * config_.l1_reg;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i] = soft_threshold(params[i] + update[i], threshold);
+}
+
+double LassoApp::loss(std::span<const double> params) {
+  double sq = 0.0;
+  for (const auto& ex : data_->examples) {
+    const double r = dot(ex.features, params) - ex.label;
+    sq += r * r;
+  }
+  return 0.5 * sq / static_cast<double>(data_->size()) + config_.l1_reg * l1_norm(params);
+}
+
+double LassoApp::sparsity(std::span<const double> params) {
+  if (params.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (double p : params)
+    if (p == 0.0) ++zeros;
+  return static_cast<double>(zeros) / static_cast<double>(params.size());
+}
+
+}  // namespace harmony::ml

@@ -1,0 +1,44 @@
+// Lasso regression trained by proximal gradient descent (ISTA) through the
+// PS: workers push the smooth squared-error gradient step; the server-side
+// update application performs the L1 proximal (soft-threshold) step.
+#pragma once
+
+#include <memory>
+
+#include "ml/app.h"
+#include "ml/dataset.h"
+
+namespace harmony::ml {
+
+struct LassoConfig {
+  double learning_rate = 0.01;
+  double l1_reg = 0.05;
+};
+
+class LassoApp final : public MlApp {
+ public:
+  // The dataset must be regression data (num_classes == 0).
+  LassoApp(std::shared_ptr<const DenseDataset> data, LassoConfig config = {});
+
+  std::string name() const override { return "Lasso"; }
+  std::size_t param_dim() const override { return data_->feature_dim; }
+  std::size_t num_data() const override { return data_->size(); }
+  void init_params(std::span<double> params) const override;
+  void compute_update(std::span<const double> params, std::span<double> update_out,
+                      std::size_t begin, std::size_t end) override;
+  // Adds the gradient step, then soft-thresholds — the ISTA proximal step is
+  // a server-side rule, which is exactly why apply_update is virtual.
+  void apply_update(std::span<double> params, std::span<const double> update) const override;
+  double loss(std::span<const double> params) override;
+  std::size_t input_bytes() const override { return data_->bytes(); }
+
+  // Fraction of exactly-zero coefficients; Lasso should drive most
+  // off-support coordinates to zero.
+  static double sparsity(std::span<const double> params);
+
+ private:
+  std::shared_ptr<const DenseDataset> data_;
+  LassoConfig config_;
+};
+
+}  // namespace harmony::ml

@@ -1,0 +1,116 @@
+#include "ml/lda.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace harmony::ml {
+
+LdaApp::LdaApp(std::shared_ptr<const CorpusDataset> data, LdaConfig config)
+    : data_(std::move(data)), config_(config) {
+  if (!data_) throw std::invalid_argument("LdaApp: null corpus");
+  docs_.resize(data_->size());
+  doc_rngs_.reserve(data_->size());
+  Rng root(config_.seed);
+  for (std::size_t d = 0; d < data_->size(); ++d) doc_rngs_.push_back(root.fork());
+}
+
+void LdaApp::init_params(std::span<double> params) const {
+  assert(params.size() == param_dim());
+  // Counts start at zero; the first sweep over each partition performs the
+  // initial assignment and pushes the corresponding +counts.
+  for (double& p : params) p = 0.0;
+}
+
+void LdaApp::compute_update(std::span<const double> params, std::span<double> update_out,
+                            std::size_t begin, std::size_t end) {
+  assert(end <= data_->size() && begin <= end);
+  const std::size_t T = config_.topics;
+  const double v_beta = static_cast<double>(data_->vocab_size) * config_.beta;
+
+  std::vector<double> weights(T);
+  for (std::size_t d = begin; d < end; ++d) {
+    const Document& doc = data_->docs[d];
+    DocState& state = docs_[d];
+    Rng& rng = doc_rngs_[d];
+
+    if (!state.initialized) {
+      state.assignment.resize(doc.tokens.size());
+      state.topic_count.assign(T, 0);
+    }
+
+    for (std::size_t pos = 0; pos < doc.tokens.size(); ++pos) {
+      const std::uint32_t word = doc.tokens[pos];
+
+      if (state.initialized) {
+        // Remove the token's current assignment before resampling. The
+        // decrement is pushed as a delta; locally we only track doc counts.
+        const std::uint32_t old_t = state.assignment[pos];
+        state.topic_count[old_t]--;
+        update_out[wt_index(word, old_t)] -= 1.0;
+        update_out[topic_total_index(old_t)] -= 1.0;
+      }
+
+      // p(z = t) ∝ (N_dt + α) (N_wt + β) / (N_t + Vβ), with the global counts
+      // read from the pulled snapshot plus this sweep's own deltas so a
+      // token's removal is visible to its own resample.
+      double total_w = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double n_dt = static_cast<double>(state.topic_count[t]);
+        const double n_wt =
+            std::max(0.0, params[wt_index(word, t)] + update_out[wt_index(word, t)]);
+        const double n_t =
+            std::max(0.0, params[topic_total_index(t)] + update_out[topic_total_index(t)]);
+        weights[t] = (n_dt + config_.alpha) * (n_wt + config_.beta) / (n_t + v_beta);
+        total_w += weights[t];
+      }
+      double u = rng.uniform(0.0, total_w);
+      std::size_t new_t = T - 1;
+      for (std::size_t t = 0; t < T; ++t) {
+        u -= weights[t];
+        if (u <= 0.0) {
+          new_t = t;
+          break;
+        }
+      }
+
+      state.assignment[pos] = static_cast<std::uint32_t>(new_t);
+      state.topic_count[new_t]++;
+      update_out[wt_index(word, new_t)] += 1.0;
+      update_out[topic_total_index(new_t)] += 1.0;
+    }
+    state.initialized = true;
+  }
+}
+
+double LdaApp::loss(std::span<const double> params) {
+  const std::size_t T = config_.topics;
+  const double v_beta = static_cast<double>(data_->vocab_size) * config_.beta;
+  const double t_alpha = static_cast<double>(T) * config_.alpha;
+
+  double log_lik = 0.0;
+  std::size_t tokens = 0;
+  for (std::size_t d = 0; d < data_->size(); ++d) {
+    const Document& doc = data_->docs[d];
+    const DocState& state = docs_[d];
+    if (!state.initialized) continue;
+    const double doc_len = static_cast<double>(doc.tokens.size());
+    for (std::uint32_t word : doc.tokens) {
+      double p = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const double theta =
+            (static_cast<double>(state.topic_count[t]) + config_.alpha) / (doc_len + t_alpha);
+        const double phi = (std::max(0.0, params[wt_index(word, t)]) + config_.beta) /
+                           (std::max(0.0, params[topic_total_index(t)]) + v_beta);
+        p += theta * phi;
+      }
+      log_lik += std::log(std::max(p, 1e-300));
+      ++tokens;
+    }
+  }
+  if (tokens == 0) return std::log(static_cast<double>(data_->vocab_size));
+  return -log_lik / static_cast<double>(tokens);
+}
+
+}  // namespace harmony::ml

@@ -1,0 +1,70 @@
+// Latent Dirichlet Allocation by distributed collapsed Gibbs sampling — the
+// paper's topic-modeling workload (PubMed/NYTimes).
+//
+// Server-side model: topic-word count matrix N[w][t] plus per-topic totals
+// N[t], stored as one flat vector (vocab*topics word counts followed by
+// `topics` totals). Worker state: per-document topic assignments and
+// doc-topic counts. One iteration = one Gibbs sweep over the worker's
+// document partition against the *pulled* (slightly stale) global counts;
+// workers push count deltas, which servers apply additively — the classic
+// AD-LDA scheme used by PS systems.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/app.h"
+#include "ml/dataset.h"
+
+namespace harmony::ml {
+
+struct LdaConfig {
+  std::size_t topics = 20;
+  double alpha = 0.1;  // doc-topic Dirichlet prior
+  double beta = 0.01;  // topic-word Dirichlet prior
+  std::uint64_t seed = 11;
+};
+
+class LdaApp final : public MlApp {
+ public:
+  LdaApp(std::shared_ptr<const CorpusDataset> data, LdaConfig config = {});
+
+  std::string name() const override { return "LDA"; }
+  std::size_t param_dim() const override {
+    return data_->vocab_size * config_.topics + config_.topics;
+  }
+  std::size_t num_data() const override { return data_->size(); }
+  void init_params(std::span<double> params) const override;
+  void compute_update(std::span<const double> params, std::span<double> update_out,
+                      std::size_t begin, std::size_t end) override;
+  // Negative predictive log-likelihood per token (lower = better), computed
+  // from the global counts and the worker-side doc-topic counts.
+  double loss(std::span<const double> params) override;
+  std::size_t input_bytes() const override { return data_->bytes(); }
+
+  const LdaConfig& config() const noexcept { return config_; }
+
+ private:
+  // Index of word w / topic t in the flat parameter vector.
+  std::size_t wt_index(std::size_t w, std::size_t t) const {
+    return w * config_.topics + t;
+  }
+  std::size_t topic_total_index(std::size_t t) const {
+    return data_->vocab_size * config_.topics + t;
+  }
+
+  std::shared_ptr<const CorpusDataset> data_;
+  LdaConfig config_;
+
+  struct DocState {
+    bool initialized = false;
+    std::vector<std::uint32_t> assignment;  // topic of each token
+    std::vector<std::uint32_t> topic_count;  // doc-topic histogram
+  };
+  // Indexed by document id; disjoint ranges touch disjoint entries.
+  std::vector<DocState> docs_;
+  std::vector<Rng> doc_rngs_;  // per-doc streams keep sweeps deterministic
+};
+
+}  // namespace harmony::ml

@@ -1,0 +1,66 @@
+#include "ml/linalg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace harmony::ml {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double l2_norm_sq(std::span<const double> x) { return dot(x, x); }
+
+double l1_norm(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+void softmax_inplace(std::span<double> logits) {
+  if (logits.empty()) return;
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - peak);
+    sum += v;
+  }
+  for (double& v : logits) v /= sum;
+}
+
+double sparse_dense_dot(const SparseVector& sparse, std::span<const double> dense) {
+  double acc = 0.0;
+  for (const auto& e : sparse) {
+    assert(e.index < dense.size());
+    acc += e.value * dense[e.index];
+  }
+  return acc;
+}
+
+void sparse_axpy(double alpha, const SparseVector& sparse, std::span<double> dense) {
+  for (const auto& e : sparse) {
+    assert(e.index < dense.size());
+    dense[e.index] += alpha * e.value;
+  }
+}
+
+double soft_threshold(double x, double t) {
+  if (x > t) return x - t;
+  if (x < -t) return x + t;
+  return 0.0;
+}
+
+}  // namespace harmony::ml

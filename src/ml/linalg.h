@@ -1,0 +1,55 @@
+// Minimal dense/sparse linear algebra for the ML applications.
+//
+// We deliberately avoid an external BLAS: the kernels here are small, the
+// applications' compute cost is dominated by simple dot/axpy loops, and a
+// dependency-free build keeps the reproduction portable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace harmony::ml {
+
+// Row-major dense matrix view helpers over a flat parameter vector. The PS
+// stores parameters as one flat array partitioned by key ranges; apps
+// interpret slices of it as matrices.
+inline std::span<double> row(std::span<double> flat, std::size_t row_idx, std::size_t cols) {
+  return flat.subspan(row_idx * cols, cols);
+}
+inline std::span<const double> row(std::span<const double> flat, std::size_t row_idx,
+                                   std::size_t cols) {
+  return flat.subspan(row_idx * cols, cols);
+}
+
+double dot(std::span<const double> a, std::span<const double> b);
+
+// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+// x *= alpha
+void scale(double alpha, std::span<double> x);
+
+double l2_norm_sq(std::span<const double> x);
+double l1_norm(std::span<const double> x);
+
+// In-place numerically-stable softmax.
+void softmax_inplace(std::span<double> logits);
+
+// Sparse feature vector: sorted (index, value) pairs.
+struct SparseEntry {
+  std::size_t index;
+  double value;
+};
+using SparseVector = std::vector<SparseEntry>;
+
+double sparse_dense_dot(const SparseVector& sparse, std::span<const double> dense);
+
+// dense += alpha * sparse
+void sparse_axpy(double alpha, const SparseVector& sparse, std::span<double> dense);
+
+// Soft-thresholding operator used by Lasso's proximal step:
+//   S(x, t) = sign(x) * max(|x| - t, 0)
+double soft_threshold(double x, double t);
+
+}  // namespace harmony::ml

@@ -1,0 +1,85 @@
+#include "ml/mlr.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.h"
+
+namespace harmony::ml {
+
+MlrApp::MlrApp(std::shared_ptr<const DenseDataset> data, MlrConfig config)
+    : data_(std::move(data)), config_(config) {
+  if (!data_ || data_->num_classes < 2)
+    throw std::invalid_argument("MlrApp: needs classification data");
+}
+
+std::size_t MlrApp::param_dim() const { return data_->num_classes * data_->feature_dim; }
+
+void MlrApp::init_params(std::span<double> params) const {
+  assert(params.size() == param_dim());
+  for (double& p : params) p = 0.0;
+}
+
+void MlrApp::compute_update(std::span<const double> params, std::span<double> update_out,
+                            std::size_t begin, std::size_t end) {
+  assert(end <= data_->size() && begin <= end);
+  const std::size_t dim = data_->feature_dim;
+  const std::size_t classes = data_->num_classes;
+  const double count = std::max<double>(1.0, static_cast<double>(end - begin));
+
+  std::vector<double> probs(classes);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& ex = data_->examples[i];
+    for (std::size_t c = 0; c < classes; ++c)
+      probs[c] = dot(ex.features, row(params, c, dim));
+    softmax_inplace(probs);
+
+    const auto label = static_cast<std::size_t>(ex.label);
+    for (std::size_t c = 0; c < classes; ++c) {
+      // d(NLL)/d(logit_c) = p_c - 1{c == y}; update is -lr * grad.
+      const double err = probs[c] - (c == label ? 1.0 : 0.0);
+      axpy(-config_.learning_rate * err / count, ex.features, row(update_out, c, dim));
+    }
+  }
+  // L2 weight decay, also scaled by the learning rate.
+  axpy(-config_.learning_rate * config_.l2_reg, params, update_out);
+}
+
+double MlrApp::loss(std::span<const double> params) {
+  const std::size_t dim = data_->feature_dim;
+  const std::size_t classes = data_->num_classes;
+  double nll = 0.0;
+  std::vector<double> probs(classes);
+  for (const auto& ex : data_->examples) {
+    for (std::size_t c = 0; c < classes; ++c)
+      probs[c] = dot(ex.features, row(params, c, dim));
+    softmax_inplace(probs);
+    const auto label = static_cast<std::size_t>(ex.label);
+    nll -= std::log(std::max(probs[label], 1e-300));
+  }
+  const double reg = 0.5 * config_.l2_reg * l2_norm_sq(params);
+  return nll / static_cast<double>(data_->size()) + reg;
+}
+
+double MlrApp::accuracy(std::span<const double> params) const {
+  const std::size_t dim = data_->feature_dim;
+  const std::size_t classes = data_->num_classes;
+  std::size_t correct = 0;
+  std::vector<double> logits(classes);
+  for (const auto& ex : data_->examples) {
+    std::size_t best = 0;
+    double best_v = -1e300;
+    for (std::size_t c = 0; c < classes; ++c) {
+      logits[c] = dot(ex.features, row(params, c, dim));
+      if (logits[c] > best_v) {
+        best_v = logits[c];
+        best = c;
+      }
+    }
+    if (best == static_cast<std::size_t>(ex.label)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data_->size());
+}
+
+}  // namespace harmony::ml

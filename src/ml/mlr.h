@@ -1,0 +1,39 @@
+// Multinomial logistic regression (softmax classification) — the paper's MLR
+// workload, trained by mini-batch gradient descent through the PS.
+#pragma once
+
+#include <memory>
+
+#include "ml/app.h"
+#include "ml/dataset.h"
+
+namespace harmony::ml {
+
+struct MlrConfig {
+  double learning_rate = 0.05;
+  double l2_reg = 1e-4;
+};
+
+class MlrApp final : public MlApp {
+ public:
+  // The dataset must be classification data (num_classes >= 2).
+  MlrApp(std::shared_ptr<const DenseDataset> data, MlrConfig config = {});
+
+  std::string name() const override { return "MLR"; }
+  std::size_t param_dim() const override;
+  std::size_t num_data() const override { return data_->size(); }
+  void init_params(std::span<double> params) const override;
+  void compute_update(std::span<const double> params, std::span<double> update_out,
+                      std::size_t begin, std::size_t end) override;
+  double loss(std::span<const double> params) override;
+  std::size_t input_bytes() const override { return data_->bytes(); }
+
+  // Classification accuracy over the full dataset; used by convergence tests.
+  double accuracy(std::span<const double> params) const;
+
+ private:
+  std::shared_ptr<const DenseDataset> data_;
+  MlrConfig config_;
+};
+
+}  // namespace harmony::ml

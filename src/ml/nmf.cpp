@@ -1,0 +1,78 @@
+#include "ml/nmf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "ml/linalg.h"
+
+namespace harmony::ml {
+
+NmfApp::NmfApp(std::shared_ptr<const RatingsDataset> data, NmfConfig config)
+    : data_(std::move(data)), config_(config) {
+  if (!data_) throw std::invalid_argument("NmfApp: null dataset");
+  Rng rng(config_.init_seed);
+  user_factors_.resize(data_->num_users * config_.rank);
+  for (double& x : user_factors_) x = std::abs(rng.normal(0.4, 0.15));
+}
+
+void NmfApp::init_params(std::span<double> params) const {
+  assert(params.size() == param_dim());
+  // Item factors start small-positive so the first gradients are informative;
+  // the seed is fixed so every worker/server agrees on the starting point.
+  Rng rng(config_.init_seed + 1);
+  for (double& p : params) p = std::abs(rng.normal(0.4, 0.15));
+}
+
+void NmfApp::compute_update(std::span<const double> params, std::span<double> update_out,
+                            std::size_t begin, std::size_t end) {
+  assert(end <= data_->num_users && begin <= end);
+  const std::size_t rank = config_.rank;
+  const double lr = config_.learning_rate;
+
+  for (std::size_t u = begin; u < end; ++u) {
+    auto w_u = std::span<double>(user_factors_).subspan(u * rank, rank);
+    const std::size_t lo = data_->user_offsets[u];
+    const std::size_t hi = data_->user_offsets[u + 1];
+    if (lo == hi) continue;
+    const double inv_n = 1.0 / static_cast<double>(hi - lo);
+
+    for (std::size_t k = lo; k < hi; ++k) {
+      const Rating& r = data_->ratings[k];
+      const auto h_i = row(params, r.item, rank);
+      const double err = dot(w_u, h_i) - r.value;
+
+      // Local step on the user factor (data-parallel, never leaves the
+      // worker), projected to stay non-negative.
+      for (std::size_t f = 0; f < rank; ++f) {
+        w_u[f] -= lr * inv_n * (err * h_i[f] + config_.l2_reg * w_u[f]);
+        w_u[f] = std::max(w_u[f], 0.0);
+      }
+      // Shared-model gradient for the item factor, pushed to servers.
+      auto upd_i = row(update_out, r.item, rank);
+      for (std::size_t f = 0; f < rank; ++f)
+        upd_i[f] -= lr * inv_n * (err * w_u[f] + config_.l2_reg * h_i[f]);
+    }
+  }
+}
+
+void NmfApp::apply_update(std::span<double> params, std::span<const double> update) const {
+  assert(params.size() == update.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i] = std::max(params[i] + update[i], 0.0);
+}
+
+double NmfApp::loss(std::span<const double> params) {
+  const std::size_t rank = config_.rank;
+  double sq = 0.0;
+  for (const Rating& r : data_->ratings) {
+    const auto w_u = std::span<const double>(user_factors_).subspan(r.user * rank, rank);
+    const double err = dot(w_u, row(params, r.item, rank)) - r.value;
+    sq += err * err;
+  }
+  return 0.5 * sq / std::max<double>(1.0, static_cast<double>(data_->ratings.size()));
+}
+
+}  // namespace harmony::ml

@@ -1,0 +1,50 @@
+// Non-negative matrix factorization — the paper's recommendation workload
+// (Netflix). Server-side model: item factor matrix H (items × rank). Worker
+// state: user factor rows W_u for the worker's user partition, updated
+// locally every iteration (the standard PS formulation of distributed MF:
+// user factors are data-parallel, item factors are the shared model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/app.h"
+#include "ml/dataset.h"
+
+namespace harmony::ml {
+
+struct NmfConfig {
+  std::size_t rank = 16;
+  double learning_rate = 0.02;
+  double l2_reg = 1e-3;
+  std::uint64_t init_seed = 7;
+};
+
+class NmfApp final : public MlApp {
+ public:
+  NmfApp(std::shared_ptr<const RatingsDataset> data, NmfConfig config = {});
+
+  std::string name() const override { return "NMF"; }
+  std::size_t param_dim() const override { return data_->num_items * config_.rank; }
+  // Input units are users: a contiguous user range is a contiguous slice of
+  // the ratings array (RatingsDataset keeps user_offsets).
+  std::size_t num_data() const override { return data_->num_users; }
+  void init_params(std::span<double> params) const override;
+  void compute_update(std::span<const double> params, std::span<double> update_out,
+                      std::size_t begin, std::size_t end) override;
+  // Adds the gradient and projects onto the non-negative orthant.
+  void apply_update(std::span<double> params, std::span<const double> update) const override;
+  double loss(std::span<const double> params) override;
+  std::size_t input_bytes() const override { return data_->bytes(); }
+
+  const NmfConfig& config() const noexcept { return config_; }
+
+ private:
+  std::shared_ptr<const RatingsDataset> data_;
+  NmfConfig config_;
+  // User factors, rank doubles per user. Concurrent compute_update calls on
+  // disjoint user ranges touch disjoint rows (see MlApp thread-safety note).
+  std::vector<double> user_factors_;
+};
+
+}  // namespace harmony::ml

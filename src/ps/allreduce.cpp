@@ -1,0 +1,123 @@
+#include "ps/allreduce.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace harmony::ps {
+
+AllReduceGroup::AllReduceGroup(std::size_t workers, std::vector<Nic*> nics)
+    : workers_(workers),
+      nics_(std::move(nics)),
+      barrier_(static_cast<std::ptrdiff_t>(workers)),
+      buffers_(workers) {
+  if (workers == 0) throw std::invalid_argument("AllReduceGroup: zero workers");
+  if (nics_.size() != workers) throw std::invalid_argument("AllReduceGroup: nics size");
+}
+
+std::size_t AllReduceGroup::bytes_per_rank(std::size_t dim, std::size_t workers) {
+  if (workers <= 1) return 0;
+  const std::size_t chunk = (dim + workers - 1) / workers;
+  // (W-1) reduce-scatter sends + (W-1) all-gather sends of one chunk each.
+  return 2 * (workers - 1) * chunk * sizeof(double);
+}
+
+void AllReduceGroup::all_reduce(std::size_t rank, std::span<double> data) {
+  assert(rank < workers_);
+  if (workers_ == 1) return;  // nothing to combine
+
+  buffers_[rank] = data;
+  barrier_.arrive_and_wait();  // all buffers published
+
+  const std::size_t dim = data.size();
+  const auto chunks = partition_evenly(dim, workers_);
+  const std::size_t prev = (rank + workers_ - 1) % workers_;
+  auto chunk_of = [&](std::span<double> buf, std::size_t c) {
+    return buf.subspan(chunks[c].begin, chunks[c].size());
+  };
+
+  // Reduce-scatter: after step s, the chunk a rank just updated carries the
+  // partial sum of s+2 contributions; after W-1 steps rank r fully owns
+  // chunk (r+1) mod W.
+  for (std::size_t step = 0; step + 1 < workers_; ++step) {
+    // Rank `prev` "sends" chunk (prev - step) mod W to us; we add it into
+    // our copy. Reads and writes touch disjoint chunks in every buffer, and
+    // the barriers order the steps.
+    const std::size_t c = (prev + workers_ - step) % workers_;
+    auto src = chunk_of(buffers_[prev], c);
+    auto dst = chunk_of(data, c);
+    if (nics_[rank] != nullptr) nics_[rank]->transfer(src.size() * sizeof(double));
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    barrier_.arrive_and_wait();
+  }
+
+  // All-gather: rank r starts owning reduced chunk (r+1) mod W and forwards
+  // it around the ring.
+  for (std::size_t step = 0; step + 1 < workers_; ++step) {
+    const std::size_t c = (prev + 1 + workers_ - step) % workers_;
+    auto src = chunk_of(buffers_[prev], c);
+    auto dst = chunk_of(data, c);
+    if (nics_[rank] != nullptr) nics_[rank]->transfer(src.size() * sizeof(double));
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    barrier_.arrive_and_wait();
+  }
+}
+
+AllReduceSystem::AllReduceSystem(std::shared_ptr<ml::MlApp> app, std::size_t workers,
+                                 Config config)
+    : app_(std::move(app)), workers_(workers), config_(config) {
+  if (!app_) throw std::invalid_argument("AllReduceSystem: null app");
+  if (workers_ == 0) throw std::invalid_argument("AllReduceSystem: zero workers");
+
+  std::vector<Nic*> nic_ptrs;
+  for (std::size_t w = 0; w < workers_; ++w) {
+    nics_.push_back(std::make_unique<Nic>(config_.nic_bytes_per_sec,
+                                          "ar-nic-" + std::to_string(w)));
+    nic_ptrs.push_back(nics_.back().get());
+  }
+  group_ = std::make_unique<AllReduceGroup>(workers_, std::move(nic_ptrs));
+  partitions_ = partition_evenly(app_->num_data(), workers_);
+  replicas_.assign(workers_, std::vector<double>(app_->param_dim(), 0.0));
+  updates_.assign(workers_, std::vector<double>(app_->param_dim(), 0.0));
+}
+
+void AllReduceSystem::init_model() {
+  std::vector<double> initial(app_->param_dim());
+  app_->init_params(initial);
+  for (auto& replica : replicas_) replica = initial;
+}
+
+void AllReduceSystem::compute(std::size_t rank) {
+  auto& update = updates_.at(rank);
+  std::fill(update.begin(), update.end(), 0.0);
+  const Range part = partitions_.at(rank);
+  app_->compute_update(replicas_.at(rank), update, part.begin, part.end);
+}
+
+void AllReduceSystem::communicate_and_apply(std::size_t rank) {
+  group_->all_reduce(rank, updates_.at(rank));
+  // Every replica applies the identical combined update: replicas stay
+  // bit-equal without any server.
+  app_->apply_update(replicas_.at(rank), updates_.at(rank));
+}
+
+void AllReduceSystem::run_iterations_threaded(std::size_t n) {
+  std::vector<std::jthread> threads;
+  threads.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    threads.emplace_back([this, w, n] {
+      for (std::size_t i = 0; i < n; ++i) {
+        compute(w);
+        communicate_and_apply(w);
+      }
+    });
+  }
+}
+
+double AllReduceSystem::loss() { return app_->loss(replicas_.at(0)); }
+
+std::size_t AllReduceSystem::comm_bytes_per_iteration() const {
+  return workers_ * AllReduceGroup::bytes_per_rank(app_->param_dim(), workers_);
+}
+
+}  // namespace harmony::ps

@@ -1,0 +1,94 @@
+// Ring all-reduce — the alternative communication architecture of §VI.
+//
+// The paper notes Harmony "does not care how exactly communication is done
+// and only cares that there are distinct computation and communication
+// steps"; all-reduce has exactly that shape: COMP produces a local update,
+// one COMM collective replaces PULL+PUSH. This is a real threaded
+// implementation: W participants synchronize through C++20 barriers, move
+// chunk-sized messages through their NICs (so communication takes real,
+// bandwidth-proportional time), and finish with every replica holding the
+// element-wise sum.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/app.h"
+#include "ps/network.h"
+#include "ps/partition.h"
+
+namespace harmony::ps {
+
+// One collective context shared by `workers` threads.
+class AllReduceGroup {
+ public:
+  // `nics` must hold one NIC per rank (may be null entries for unthrottled).
+  AllReduceGroup(std::size_t workers, std::vector<Nic*> nics);
+
+  std::size_t workers() const noexcept { return workers_; }
+
+  // Collective: every rank calls with its buffer (all the same size); blocks
+  // until the ring completes; on return every buffer holds the sum.
+  // Classic ring: W-1 reduce-scatter steps + W-1 all-gather steps, each
+  // moving ~dim/W elements per rank.
+  void all_reduce(std::size_t rank, std::span<double> data);
+
+  // Bytes a single rank transmits for one all_reduce of `dim` doubles.
+  static std::size_t bytes_per_rank(std::size_t dim, std::size_t workers);
+
+ private:
+  std::size_t workers_;
+  std::vector<Nic*> nics_;
+  std::barrier<> barrier_;
+  // Registration area: each rank publishes its buffer for the collective.
+  std::vector<std::span<double>> buffers_;
+};
+
+// Data-parallel training without servers: every worker holds a full model
+// replica; updates are combined with all_reduce and applied identically on
+// every replica, so the replicas never diverge.
+class AllReduceSystem {
+ public:
+  struct Config {
+    double nic_bytes_per_sec = 0.0;  // <= 0: unthrottled
+  };
+
+  AllReduceSystem(std::shared_ptr<ml::MlApp> app, std::size_t workers)
+      : AllReduceSystem(std::move(app), workers, Config{}) {}
+  AllReduceSystem(std::shared_ptr<ml::MlApp> app, std::size_t workers, Config config);
+
+  void init_model();
+  std::size_t num_workers() const noexcept { return workers_; }
+  ml::MlApp& app() noexcept { return *app_; }
+
+  // The two subtask-shaped phases for rank `r`:
+  // COMP — compute the local update from this worker's partition;
+  void compute(std::size_t rank);
+  // COMM — the collective; every rank must call it once per iteration.
+  void communicate_and_apply(std::size_t rank);
+
+  // Runs `n` synchronous iterations using one thread per worker.
+  void run_iterations_threaded(std::size_t n);
+
+  double loss();
+  std::span<const double> replica(std::size_t rank) const { return replicas_.at(rank); }
+
+  // Total bytes transferred per iteration across all ranks (for the PS
+  // comparison bench).
+  std::size_t comm_bytes_per_iteration() const;
+
+ private:
+  std::shared_ptr<ml::MlApp> app_;
+  std::size_t workers_;
+  Config config_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<AllReduceGroup> group_;
+  std::vector<Range> partitions_;
+  std::vector<std::vector<double>> replicas_;
+  std::vector<std::vector<double>> updates_;
+};
+
+}  // namespace harmony::ps

@@ -1,0 +1,28 @@
+#include "ps/network.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace harmony::ps {
+
+Nic::Nic(double bytes_per_sec, std::string name)
+    : bytes_per_sec_(bytes_per_sec), name_(std::move(name)), free_at_(Clock::now()) {}
+
+void Nic::transfer(std::size_t bytes) {
+  bytes_total_.fetch_add(bytes, std::memory_order_relaxed);
+  if (bytes_per_sec_ <= 0.0 || bytes == 0) return;
+
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_sec_));
+
+  Clock::time_point done_at;
+  {
+    std::scoped_lock lock(mu_);
+    const auto start = std::max(free_at_, Clock::now());
+    done_at = start + duration;
+    free_at_ = done_at;
+  }
+  std::this_thread::sleep_until(done_at);
+}
+
+}  // namespace harmony::ps

@@ -1,0 +1,48 @@
+// Bandwidth-throttled in-memory network.
+//
+// Each endpoint (one per machine in the in-process runtime) has a NIC with a
+// configured bandwidth. A transfer occupies the sender NIC for
+// bytes / bandwidth seconds of *wall-clock* time, so COMM subtasks really
+// take time proportional to message size and really contend on the NIC —
+// which is what Harmony's network lane serializes. Bandwidths are scaled up
+// in unit tests to keep them fast.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace harmony::ps {
+
+class Nic {
+ public:
+  // `bytes_per_sec` <= 0 disables throttling (infinite bandwidth).
+  explicit Nic(double bytes_per_sec, std::string name = "nic");
+
+  // Blocks the calling thread for the transfer duration. Concurrent callers
+  // serialize: the NIC is a single shared link, so two simultaneous transfers
+  // each take at least twice as long as they would alone.
+  void transfer(std::size_t bytes);
+
+  std::uint64_t bytes_transferred() const noexcept {
+    return bytes_total_.load(std::memory_order_relaxed);
+  }
+  double bytes_per_sec() const noexcept { return bytes_per_sec_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double bytes_per_sec_;
+  std::string name_;
+  std::mutex mu_;
+  // Time at which the link becomes free; transfers extend it and sleep until
+  // their own completion instant (a virtual-time token bucket).
+  Clock::time_point free_at_{};
+  std::atomic<std::uint64_t> bytes_total_{0};
+};
+
+}  // namespace harmony::ps

@@ -1,0 +1,35 @@
+#include "ps/partition.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace harmony::ps {
+
+std::vector<Range> partition_evenly(std::size_t total, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition_evenly: zero parts");
+  std::vector<Range> out;
+  out.reserve(parts);
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    out.push_back(Range{cursor, cursor + len});
+    cursor += len;
+  }
+  assert(cursor == total);
+  return out;
+}
+
+std::size_t partition_of(std::size_t i, std::size_t total, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("partition_of: zero parts");
+  if (i >= total) throw std::out_of_range("partition_of: key out of range");
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  // The first `extra` parts have size base+1 and cover [0, extra*(base+1)).
+  const std::size_t big_span = extra * (base + 1);
+  if (i < big_span) return i / (base + 1);
+  return extra + (i - big_span) / (base == 0 ? 1 : base);
+}
+
+}  // namespace harmony::ps

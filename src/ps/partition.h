@@ -1,0 +1,28 @@
+// Key-range partitioning: splits the flat parameter vector across server
+// shards and the input data across workers, the way PS systems assign
+// contiguous ranges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harmony::ps {
+
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+  bool contains(std::size_t i) const noexcept { return i >= begin && i < end; }
+  bool operator==(const Range&) const = default;
+};
+
+// Splits [0, total) into `parts` contiguous ranges whose sizes differ by at
+// most one (the first `total % parts` ranges get the extra element).
+std::vector<Range> partition_evenly(std::size_t total, std::size_t parts);
+
+// Index of the partition that owns key `i` under partition_evenly(total, parts).
+std::size_t partition_of(std::size_t i, std::size_t total, std::size_t parts);
+
+}  // namespace harmony::ps

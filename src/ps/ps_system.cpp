@@ -1,0 +1,71 @@
+#include "ps/ps_system.h"
+
+#include <stdexcept>
+
+namespace harmony::ps {
+
+PsSystem::PsSystem(std::shared_ptr<ml::MlApp> app, std::size_t num_machines, PsConfig config)
+    : app_(std::move(app)), config_(config) {
+  if (!app_) throw std::invalid_argument("PsSystem: null app");
+  if (num_machines == 0) throw std::invalid_argument("PsSystem: zero machines");
+
+  const std::size_t dim = app_->param_dim();
+  const auto shard_ranges = partition_evenly(dim, num_machines);
+  // The server-side apply rule delegates to the app (proximal step for Lasso,
+  // non-negative projection for NMF, plain addition otherwise).
+  ApplyFn apply = [app = app_.get()](std::span<double> params, std::span<const double> update) {
+    app->apply_update(params, update);
+  };
+
+  const auto data_ranges = partition_evenly(app_->num_data(), num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    nics_.push_back(std::make_unique<Nic>(config_.nic_bytes_per_sec,
+                                          "nic-" + std::to_string(m)));
+    shards_.push_back(std::make_unique<ServerShard>(shard_ranges[m], apply));
+  }
+  // Workers are constructed after all NICs/shards exist (they hold references).
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    workers_.push_back(std::make_unique<PsWorker>(*this, m, data_ranges[m], *nics_[m],
+                                                  config_.batches_per_epoch));
+  }
+}
+
+void PsSystem::init_model() {
+  std::vector<double> initial(app_->param_dim());
+  app_->init_params(initial);
+  for (auto& shard : shards_) {
+    const Range r = shard->range();
+    shard->load(std::span<const double>(initial).subspan(r.begin, r.size()));
+  }
+}
+
+std::vector<double> PsSystem::full_model() const {
+  std::vector<double> model(app_->param_dim(), 0.0);
+  for (const auto& shard : shards_) {
+    const Range r = shard->range();
+    const auto snap = shard->snapshot();
+    std::copy(snap.begin(), snap.end(), model.begin() + static_cast<std::ptrdiff_t>(r.begin));
+  }
+  return model;
+}
+
+double PsSystem::loss() {
+  const auto model = full_model();
+  return app_->loss(model);
+}
+
+void PsSystem::run_iterations_sequential(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Synchronous training: every worker completes PULL+COMP before any PUSH
+    // is applied, matching BSP semantics with staleness 0 (§V-B).
+    for (auto& w : workers_) {
+      w->pull_transfer();
+      w->pull_deserialize();
+      w->compute();
+      w->push_serialize();
+    }
+    for (auto& w : workers_) w->push_transfer();
+  }
+}
+
+}  // namespace harmony::ps

@@ -1,0 +1,59 @@
+// PsSystem wires one training job together: server shards partitioning the
+// model, one worker per machine partitioning the input, and per-machine NICs
+// (the paper co-locates a server and a worker on every instance, §II-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/app.h"
+#include "ps/network.h"
+#include "ps/partition.h"
+#include "ps/server.h"
+#include "ps/worker.h"
+
+namespace harmony::ps {
+
+struct PsConfig {
+  // Bytes/second per machine NIC; <= 0 disables throttling (fast tests).
+  double nic_bytes_per_sec = 0.0;
+  std::size_t batches_per_epoch = 1;
+};
+
+class PsSystem {
+ public:
+  PsSystem(std::shared_ptr<ml::MlApp> app, std::size_t num_machines, PsConfig config = {});
+
+  // Loads the app's initial parameters into the shards. Must be called before
+  // the first iteration (the constructor leaves parameters zeroed).
+  void init_model();
+
+  std::size_t num_machines() const noexcept { return workers_.size(); }
+  PsWorker& worker(std::size_t i) { return *workers_.at(i); }
+  ServerShard& shard(std::size_t i) { return *shards_.at(i); }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  Nic& nic(std::size_t i) { return *nics_.at(i); }
+
+  ml::MlApp& app() noexcept { return *app_; }
+
+  // Gathers a consistent full-model snapshot (shard locks taken one at a
+  // time; callers run it between iterations where the model is quiescent).
+  std::vector<double> full_model() const;
+
+  // Full-data objective at the current model; the convergence signal.
+  double loss();
+
+  // Runs `n` synchronous iterations across all workers on the calling thread
+  // (workers advance in lockstep). The threaded execution paths live in the
+  // runtime layer; this is the simple reference driver.
+  void run_iterations_sequential(std::size_t n);
+
+ private:
+  std::shared_ptr<ml::MlApp> app_;
+  PsConfig config_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<ServerShard>> shards_;
+  std::vector<std::unique_ptr<PsWorker>> workers_;
+};
+
+}  // namespace harmony::ps

@@ -1,0 +1,3 @@
+#include "ps/serialization.h"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,102 @@
+// Byte-level serialization for PS messages.
+//
+// The runtime really serializes parameter slices to byte buffers and back —
+// the paper moves (de)serialization *out* of COMM subtasks so network
+// subtasks stay network-dominant (§IV-A); having a real wire format lets the
+// runtime and benches account for that CPU cost explicitly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace harmony::ps {
+
+class ByteWriter {
+ public:
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_double(double v) { put_raw(&v, sizeof(v)); }
+
+  void put_doubles(std::span<const double> values) {
+    put_u64(values.size());
+    put_raw(values.data(), values.size() * sizeof(double));
+  }
+
+  void put_string(const std::string& s) {
+    put_u64(s.size());
+    put_raw(s.data(), s.size());
+  }
+
+  const std::vector<std::byte>& buffer() const noexcept { return buffer_; }
+  std::vector<std::byte> take() noexcept { return std::move(buffer_); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  void put_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint32_t get_u32() { return get_raw<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_raw<std::uint64_t>(); }
+  double get_double() { return get_raw<double>(); }
+
+  std::vector<double> get_doubles() {
+    const std::uint64_t n = get_u64();
+    check(n * sizeof(double));
+    std::vector<double> out(n);
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return out;
+  }
+
+  // Deserializes directly into a caller-provided span (avoids an allocation
+  // on the hot pull path).
+  void get_doubles_into(std::span<double> out) {
+    const std::uint64_t n = get_u64();
+    if (n != out.size()) throw std::runtime_error("ByteReader: size mismatch");
+    check(n * sizeof(double));
+    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_u64();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T get_raw() {
+    check(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void check(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw std::runtime_error("ByteReader: out of data");
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace harmony::ps

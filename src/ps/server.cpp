@@ -1,0 +1,50 @@
+#include "ps/server.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace harmony::ps {
+
+ServerShard::ServerShard(Range range, ApplyFn apply)
+    : range_(range), apply_(std::move(apply)), params_(range.size(), 0.0) {
+  if (!apply_) throw std::invalid_argument("ServerShard: null apply function");
+}
+
+std::vector<std::byte> ServerShard::serialize_params() const {
+  ByteWriter writer;
+  {
+    std::scoped_lock lock(mu_);
+    writer.put_u64(range_.begin);
+    writer.put_doubles(params_);
+  }
+  return writer.take();
+}
+
+std::size_t ServerShard::apply_push(std::span<const std::byte> payload) {
+  ByteReader reader(payload);
+  const std::uint64_t begin = reader.get_u64();
+  if (begin != range_.begin) throw std::runtime_error("ServerShard: push to wrong shard");
+  const std::vector<double> update = reader.get_doubles();
+  if (update.size() != params_.size())
+    throw std::runtime_error("ServerShard: push size mismatch");
+  {
+    std::scoped_lock lock(mu_);
+    apply_(params_, update);
+    ++pushes_;
+  }
+  return update.size();
+}
+
+void ServerShard::load(std::span<const double> values) {
+  if (values.size() != params_.size())
+    throw std::invalid_argument("ServerShard: load size mismatch");
+  std::scoped_lock lock(mu_);
+  std::copy(values.begin(), values.end(), params_.begin());
+}
+
+std::vector<double> ServerShard::snapshot() const {
+  std::scoped_lock lock(mu_);
+  return params_;
+}
+
+}  // namespace harmony::ps

@@ -1,0 +1,48 @@
+// Server shard: owns one contiguous key range of the model.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ps/partition.h"
+#include "ps/serialization.h"
+
+namespace harmony::ps {
+
+// Applies an additive update to a parameter slice. The application supplies
+// this so server-side rules (Lasso's proximal step, NMF's non-negativity
+// projection) run where the model lives.
+using ApplyFn =
+    std::function<void(std::span<double> params, std::span<const double> update)>;
+
+class ServerShard {
+ public:
+  ServerShard(Range range, ApplyFn apply);
+
+  const Range& range() const noexcept { return range_; }
+
+  // Serializes the shard's current parameters (a PULL response).
+  std::vector<std::byte> serialize_params() const;
+
+  // Deserializes a pushed update payload and applies it under the shard lock
+  // (a PUSH request). Returns the number of parameters updated.
+  std::size_t apply_push(std::span<const std::byte> payload);
+
+  // Direct accessors for initialization / checkpointing (master-side paths,
+  // still lock-protected).
+  void load(std::span<const double> values);
+  std::vector<double> snapshot() const;
+
+  std::uint64_t pushes_applied() const noexcept { return pushes_; }
+
+ private:
+  Range range_;
+  ApplyFn apply_;
+  mutable std::mutex mu_;
+  std::vector<double> params_;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace harmony::ps

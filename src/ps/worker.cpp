@@ -1,0 +1,88 @@
+#include "ps/worker.h"
+
+#include <cassert>
+
+#include "ps/ps_system.h"
+#include "ps/serialization.h"
+
+namespace harmony::ps {
+
+PsWorker::PsWorker(PsSystem& system, std::size_t index, Range data_range, Nic& nic,
+                   std::size_t batches_per_epoch)
+    : system_(system),
+      index_(index),
+      data_range_(data_range),
+      nic_(nic),
+      batches_(batches_per_epoch == 0 ? 1 : batches_per_epoch) {
+  const std::size_t dim = system_.app().param_dim();
+  params_.assign(dim, 0.0);
+  update_.assign(dim, 0.0);
+}
+
+Range PsWorker::current_batch() const noexcept {
+  const std::size_t batch_idx = iteration_ % batches_;
+  const auto slices = partition_evenly(data_range_.size(), batches_);
+  const Range slice = slices[batch_idx];
+  return Range{data_range_.begin + slice.begin, data_range_.begin + slice.end};
+}
+
+void PsWorker::pull_transfer() {
+  pulled_payloads_.clear();
+  pulled_payloads_.reserve(system_.num_shards());
+  for (std::size_t s = 0; s < system_.num_shards(); ++s) {
+    auto payload = system_.shard(s).serialize_params();
+    nic_.transfer(payload.size());
+    pulled_payloads_.push_back(std::move(payload));
+  }
+}
+
+void PsWorker::pull_deserialize() {
+  for (const auto& payload : pulled_payloads_) {
+    ByteReader reader(payload);
+    const std::uint64_t begin = reader.get_u64();
+    const std::uint64_t count = reader.get_u64();
+    assert(begin + count <= params_.size());
+    // Rewind: get_doubles_into expects the length prefix, so re-read it.
+    ByteReader body(payload);
+    body.get_u64();
+    body.get_doubles_into(std::span<double>(params_).subspan(begin, count));
+  }
+  pulled_payloads_.clear();
+}
+
+void PsWorker::compute() {
+  std::fill(update_.begin(), update_.end(), 0.0);
+  const Range batch = current_batch();
+  system_.app().compute_update(params_, update_, batch.begin, batch.end);
+  ++iteration_;
+}
+
+void PsWorker::push_serialize() {
+  push_payloads_.clear();
+  push_payloads_.reserve(system_.num_shards());
+  for (std::size_t s = 0; s < system_.num_shards(); ++s) {
+    const Range range = system_.shard(s).range();
+    ByteWriter writer;
+    writer.put_u64(range.begin);
+    writer.put_doubles(std::span<const double>(update_).subspan(range.begin, range.size()));
+    push_payloads_.push_back(writer.take());
+  }
+}
+
+void PsWorker::push_transfer() {
+  for (std::size_t s = 0; s < push_payloads_.size(); ++s) {
+    nic_.transfer(push_payloads_[s].size());
+    system_.shard(s).apply_push(push_payloads_[s]);
+  }
+  push_payloads_.clear();
+}
+
+void PsWorker::run_iteration() {
+  pull_transfer();
+  pull_deserialize();
+  compute();
+  push_serialize();
+  push_transfer();
+}
+
+}  // namespace harmony::ps

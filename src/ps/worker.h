@@ -1,0 +1,74 @@
+// PS worker: executes one job's PULL / COMP / PUSH steps on one machine.
+//
+// Each step is split along the paper's subtask boundary (§IV-A): the
+// (de)serialization halves of PULL/PUSH are CPU work and are exposed as
+// separate methods so Harmony's executor can schedule them in the CPU lane,
+// keeping COMM subtasks network-dominant.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/app.h"
+#include "ps/network.h"
+#include "ps/partition.h"
+
+namespace harmony::ps {
+
+class PsSystem;
+
+class PsWorker {
+ public:
+  // `data_range` is this worker's slice of the input; `batches_per_epoch`
+  // splits it into mini-batches processed round-robin (1 = full slice per
+  // iteration).
+  PsWorker(PsSystem& system, std::size_t index, Range data_range, Nic& nic,
+           std::size_t batches_per_epoch = 1);
+
+  // --- PULL ---------------------------------------------------------------
+  // Network half: fetch serialized shard payloads over the NIC.
+  void pull_transfer();
+  // CPU half: deserialize payloads into the local parameter snapshot.
+  void pull_deserialize();
+
+  // --- COMP ---------------------------------------------------------------
+  // Computes the update for the current mini-batch and advances the cursor.
+  void compute();
+
+  // --- PUSH ---------------------------------------------------------------
+  // CPU half: serialize the update into per-shard payloads.
+  void push_serialize();
+  // Network half: send payloads; shards apply them on receipt.
+  void push_transfer();
+
+  // Runs one full iteration (all five phases in order); convenience for
+  // tests and the quickstart example.
+  void run_iteration();
+
+  std::size_t index() const noexcept { return index_; }
+  const Range& data_range() const noexcept { return data_range_; }
+  std::span<const double> params() const noexcept { return params_; }
+  std::size_t iterations_done() const noexcept { return iteration_; }
+  // True once the cursor has wrapped: `iterations_done / batches_per_epoch`
+  // epochs are complete.
+  std::size_t epochs_done() const noexcept { return iteration_ / batches_; }
+
+ private:
+  Range current_batch() const noexcept;
+
+  PsSystem& system_;
+  std::size_t index_;
+  Range data_range_;
+  Nic& nic_;
+  std::size_t batches_;
+  std::size_t iteration_ = 0;
+
+  std::vector<double> params_;
+  std::vector<double> update_;
+  std::vector<std::vector<std::byte>> pulled_payloads_;
+  std::vector<std::vector<std::byte>> push_payloads_;
+};
+
+}  // namespace harmony::ps

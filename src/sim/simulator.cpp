@@ -1,0 +1,59 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace harmony::sim {
+
+EventId Simulator::schedule_at(double t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Simulator: scheduling into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  // The heap node stays behind as a tombstone and is skipped when popped.
+  if (callbacks_.erase(id) > 0) --live_count_;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled tombstone
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_count_;
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++fired_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+}
+
+void Simulator::run_until(double t) {
+  while (!queue_.empty()) {
+    // Skip tombstones cheaply before peeking at the time.
+    const Event ev = queue_.top();
+    if (callbacks_.find(ev.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace harmony::sim

@@ -1,0 +1,75 @@
+// Discrete-event simulation core.
+//
+// The simulator keeps a priority queue of timestamped callbacks. Components
+// (resources, job pipelines, the scheduler driver) schedule future events and
+// react to them; simulated time advances only through the event queue, so a
+// full 80-job / 100-machine day-long experiment runs in milliseconds of wall
+// time and is bit-reproducible from the RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace harmony::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time in seconds.
+  double now() const noexcept { return now_; }
+
+  // Schedules `cb` at absolute time `t` (must be >= now). Events scheduled for
+  // the same instant fire in scheduling order (stable FIFO tie-break).
+  EventId schedule_at(double t, Callback cb);
+  EventId schedule_in(double dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
+
+  // Cancels a pending event; cancelling an already-fired or unknown id is a
+  // harmless no-op (resources rely on this when they reschedule completions).
+  void cancel(EventId id);
+
+  // Executes the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  // Runs until the queue drains or `max_events` fire (guard against bugs that
+  // would otherwise spin forever).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  // Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(double t);
+
+  bool empty() const noexcept { return live_count_ == 0; }
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    // Orders the min-heap: earliest time first, then insertion order.
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  // Callbacks are kept out of the heap nodes so cancellation is O(1).
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace harmony::sim

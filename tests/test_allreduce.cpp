@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "ml/mlr.h"
+#include "ps/allreduce.h"
+#include "ps/ps_system.h"
+
+namespace harmony::ps {
+namespace {
+
+// Runs one collective across `workers` threads with the given per-rank data;
+// returns the buffers afterwards.
+std::vector<std::vector<double>> collective(std::size_t workers,
+                                            std::vector<std::vector<double>> data) {
+  std::vector<Nic*> nics(workers, nullptr);
+  AllReduceGroup group(workers, nics);
+  std::vector<std::jthread> threads;
+  for (std::size_t r = 0; r < workers; ++r)
+    threads.emplace_back([&group, &data, r] { group.all_reduce(r, data[r]); });
+  threads.clear();  // join
+  return data;
+}
+
+TEST(AllReduceGroup, SingleWorkerIsIdentity) {
+  auto out = collective(1, {{1.0, 2.0, 3.0}});
+  EXPECT_EQ(out[0], (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(AllReduceGroup, TwoWorkersSum) {
+  auto out = collective(2, {{1.0, 2.0, 3.0, 4.0}, {10.0, 20.0, 30.0, 40.0}});
+  for (const auto& buf : out) EXPECT_EQ(buf, (std::vector<double>{11.0, 22.0, 33.0, 44.0}));
+}
+
+class AllReduceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(AllReduceSweep, EveryReplicaHoldsTheSum) {
+  const auto [workers, dim] = GetParam();
+  std::vector<std::vector<double>> data(workers, std::vector<double>(dim));
+  std::vector<double> expected(dim, 0.0);
+  for (std::size_t r = 0; r < workers; ++r)
+    for (std::size_t i = 0; i < dim; ++i) {
+      data[r][i] = static_cast<double>(r * 1000 + i);
+      expected[i] += data[r][i];
+    }
+  const auto out = collective(workers, std::move(data));
+  for (std::size_t r = 0; r < workers; ++r)
+    for (std::size_t i = 0; i < dim; ++i)
+      ASSERT_DOUBLE_EQ(out[r][i], expected[i]) << "rank " << r << " index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllReduceSweep,
+    ::testing::Values(std::make_tuple(2, 8), std::make_tuple(3, 10), std::make_tuple(4, 4),
+                      std::make_tuple(5, 17), std::make_tuple(8, 64),
+                      std::make_tuple(3, 2)));  // dim < workers: empty chunks
+
+TEST(AllReduceGroup, BytesPerRankFormula) {
+  // 2(W-1)/W of the data per rank, in chunk-granular form.
+  EXPECT_EQ(AllReduceGroup::bytes_per_rank(100, 1), 0u);
+  EXPECT_EQ(AllReduceGroup::bytes_per_rank(100, 4), 2u * 3u * 25u * sizeof(double));
+}
+
+TEST(AllReduceGroup, RepeatedCollectivesStayCorrect) {
+  const std::size_t workers = 4, dim = 12;
+  std::vector<Nic*> nics(workers, nullptr);
+  AllReduceGroup group(workers, nics);
+  std::vector<std::vector<double>> data(workers, std::vector<double>(dim, 1.0));
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::jthread> threads;
+    for (std::size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] { group.all_reduce(r, data[r]); });
+    threads.clear();
+  }
+  // 1 -> 4 -> 16 -> 64 after three sum-rounds.
+  for (const auto& buf : data)
+    for (double v : buf) EXPECT_DOUBLE_EQ(v, 64.0);
+}
+
+TEST(AllReduceSystem, ReplicasStayIdenticalWhileTraining) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(200, 6, 3, 0.05, 3));
+  auto app = std::make_shared<ml::MlrApp>(data, ml::MlrConfig{0.5, 1e-5});
+  AllReduceSystem system(app, 4);
+  system.init_model();
+  system.run_iterations_threaded(10);
+  const auto ref = system.replica(0);
+  for (std::size_t r = 1; r < 4; ++r) {
+    const auto other = system.replica(r);
+    ASSERT_EQ(ref.size(), other.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_DOUBLE_EQ(ref[i], other[i]);
+  }
+}
+
+TEST(AllReduceSystem, TrainsMlr) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(300, 8, 3, 0.05, 7));
+  auto app = std::make_shared<ml::MlrApp>(data, ml::MlrConfig{0.5, 1e-5});
+  AllReduceSystem system(app, 3);
+  system.init_model();
+  const double initial = system.loss();
+  system.run_iterations_threaded(40);
+  EXPECT_LT(system.loss(), initial * 0.5);
+}
+
+TEST(AllReduceSystem, MatchesPsTrainingTrajectory) {
+  // Same app, same partitioning: PS (sum of per-worker updates applied at
+  // the server) and all-reduce (sum applied at each replica) should produce
+  // the same model after each synchronous iteration.
+  auto ds = std::make_shared<ml::DenseDataset>(ml::make_classification(120, 5, 3, 0.05, 9));
+  auto app_ps = std::make_shared<ml::MlrApp>(ds, ml::MlrConfig{0.3, 0.0});
+  auto app_ar = std::make_shared<ml::MlrApp>(ds, ml::MlrConfig{0.3, 0.0});
+
+  PsSystem ps(app_ps, 3);
+  ps.init_model();
+  AllReduceSystem ar(app_ar, 3);
+  ar.init_model();
+
+  for (int iter = 0; iter < 5; ++iter) {
+    ps.run_iterations_sequential(1);
+    for (std::size_t r = 0; r < 3; ++r) ar.compute(r);
+    std::vector<std::jthread> threads;
+    for (std::size_t r = 0; r < 3; ++r)
+      threads.emplace_back([&ar, r] { ar.communicate_and_apply(r); });
+    threads.clear();
+  }
+  const auto ps_model = ps.full_model();
+  const auto ar_model = ar.replica(0);
+  ASSERT_EQ(ps_model.size(), ar_model.size());
+  for (std::size_t i = 0; i < ps_model.size(); ++i)
+    EXPECT_NEAR(ps_model[i], ar_model[i], 1e-9) << "param " << i;
+}
+
+TEST(AllReduceGroup, ThrottledNicsTakeProportionalTime) {
+  const std::size_t workers = 3, dim = 30000;
+  std::vector<std::unique_ptr<Nic>> nics;
+  std::vector<Nic*> ptrs;
+  for (std::size_t r = 0; r < workers; ++r) {
+    nics.push_back(std::make_unique<Nic>(20e6));  // 20 MB/s
+    ptrs.push_back(nics.back().get());
+  }
+  AllReduceGroup group(workers, ptrs);
+  std::vector<std::vector<double>> data(workers, std::vector<double>(dim, 1.0));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t r = 0; r < workers; ++r)
+      threads.emplace_back([&, r] { group.all_reduce(r, data[r]); });
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // Each rank sends 2*(W-1)*dim/W doubles = 2*2*10000*8 B = 320 kB at 20 MB/s
+  // => at least ~16 ms even with perfect overlap.
+  EXPECT_GE(elapsed, 0.012);
+  for (const auto& buf : data)
+    for (double v : buf) ASSERT_DOUBLE_EQ(v, 3.0);
+  EXPECT_GT(ptrs[0]->bytes_transferred(), 0u);
+}
+
+TEST(AllReduceSystem, CommBytesAccounting) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(50, 4, 2, 0.1, 1));
+  auto app = std::make_shared<ml::MlrApp>(data);
+  AllReduceSystem system(app, 4);
+  EXPECT_EQ(system.comm_bytes_per_iteration(),
+            4u * AllReduceGroup::bytes_per_rank(app->param_dim(), 4));
+}
+
+}  // namespace
+}  // namespace harmony::ps

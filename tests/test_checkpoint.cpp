@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "harmony/checkpoint.h"
+
+namespace harmony::core {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("harmony-ckpt-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  CheckpointStore store(dir_);
+  const std::vector<double> model{1.0, -2.5, 3.25, 0.0, 1e100};
+  store.save(7, model);
+  EXPECT_TRUE(store.exists(7));
+  EXPECT_EQ(store.load(7), model);
+}
+
+TEST_F(CheckpointTest, OverwriteReplacesContent) {
+  CheckpointStore store(dir_);
+  store.save(1, std::vector<double>{1.0});
+  store.save(1, std::vector<double>{2.0, 3.0});
+  EXPECT_EQ(store.load(1), (std::vector<double>{2.0, 3.0}));
+}
+
+TEST_F(CheckpointTest, MissingCheckpointThrows) {
+  CheckpointStore store(dir_);
+  EXPECT_FALSE(store.exists(42));
+  EXPECT_THROW(store.load(42), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, RemoveDeletes) {
+  CheckpointStore store(dir_);
+  store.save(3, std::vector<double>{1.0});
+  store.remove(3);
+  EXPECT_FALSE(store.exists(3));
+}
+
+TEST_F(CheckpointTest, JobsAreIndependent) {
+  CheckpointStore store(dir_);
+  store.save(1, std::vector<double>{1.0});
+  store.save(2, std::vector<double>{2.0});
+  EXPECT_EQ(store.load(1), (std::vector<double>{1.0}));
+  EXPECT_EQ(store.load(2), (std::vector<double>{2.0}));
+}
+
+TEST_F(CheckpointTest, JobIdMismatchDetected) {
+  CheckpointStore store(dir_);
+  store.save(5, std::vector<double>{1.0});
+  // Corrupt: copy job 5's file over job 6's slot.
+  std::filesystem::copy_file(dir_ / "job-5.ckpt", dir_ / "job-6.ckpt");
+  EXPECT_THROW(store.load(6), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, NoTempFileLeftBehind) {
+  CheckpointStore store(dir_);
+  store.save(9, std::vector<double>(1000, 3.14));
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".ckpt");
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CheckpointTest, EmptyModelRoundTrips) {
+  CheckpointStore store(dir_);
+  store.save(11, std::vector<double>{});
+  EXPECT_TRUE(store.load(11).empty());
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.h"
+#include "cluster/machine.h"
+#include "cluster/memory_model.h"
+
+namespace harmony::cluster {
+namespace {
+
+TEST(MachineSpec, PaperDefaults) {
+  MachineSpec spec;
+  EXPECT_EQ(spec.cores, 8);
+  EXPECT_DOUBLE_EQ(spec.memory_bytes, 32.0 * kGiB);
+  EXPECT_NEAR(spec.nic_bytes_per_sec, 1.375e8, 1e3);  // 1.1 Gbps
+}
+
+TEST(MachineSpec, Describe) {
+  const std::string s = describe(MachineSpec{});
+  EXPECT_NE(s.find("8c"), std::string::npos);
+  EXPECT_NE(s.find("32"), std::string::npos);
+}
+
+TEST(Cluster, AllocateAndRelease) {
+  Cluster c(10);
+  EXPECT_EQ(c.free_count(), 10u);
+  auto got = c.allocate(4, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 4u);
+  EXPECT_EQ(c.free_count(), 6u);
+  for (MachineId id : *got) EXPECT_EQ(c.owner(id), 1u);
+  c.release(*got, 1);
+  EXPECT_EQ(c.free_count(), 10u);
+}
+
+TEST(Cluster, AllocateFailsAtomically) {
+  Cluster c(3);
+  auto a = c.allocate(2, 1);
+  ASSERT_TRUE(a.has_value());
+  auto b = c.allocate(2, 2);
+  EXPECT_FALSE(b.has_value());
+  EXPECT_EQ(c.free_count(), 1u);  // nothing half-granted
+}
+
+TEST(Cluster, MachinesOfGroup) {
+  Cluster c(5);
+  auto a = c.allocate(2, 7);
+  ASSERT_TRUE(a);
+  auto members = c.machines_of(7);
+  EXPECT_EQ(members, *a);
+  EXPECT_TRUE(c.machines_of(99).empty());
+}
+
+TEST(MemoryModel, NoSlowdownBelowThreshold) {
+  MemoryModel m;
+  EXPECT_DOUBLE_EQ(m.gc_slowdown(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.gc_slowdown(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(m.gc_slowdown(0.70), 1.0);
+}
+
+TEST(MemoryModel, SlowdownGrowsMonotonically) {
+  MemoryModel m;
+  double prev = 1.0;
+  for (double occ = 0.71; occ <= 1.0; occ += 0.01) {
+    const double s = m.gc_slowdown(occ);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_GT(m.gc_slowdown(0.99), 2.0);  // superlinear near full
+}
+
+TEST(MemoryModel, GcTimeFractionConsistent) {
+  MemoryModel m;
+  const double occ = 0.9;
+  const double s = m.gc_slowdown(occ);
+  EXPECT_NEAR(m.gc_time_fraction(occ), 1.0 - 1.0 / s, 1e-12);
+  EXPECT_DOUBLE_EQ(m.gc_time_fraction(0.3), 0.0);
+}
+
+TEST(MemoryModel, OomBoundary) {
+  MemoryModelParams p;
+  p.oom_occupancy = 0.95;
+  MemoryModel m(p);
+  EXPECT_FALSE(m.oom(0.95));
+  EXPECT_TRUE(m.oom(0.96));
+}
+
+TEST(MemoryModel, ClampsOutOfRangeOccupancy) {
+  MemoryModel m;
+  EXPECT_DOUBLE_EQ(m.gc_slowdown(-0.5), 1.0);
+  EXPECT_GT(m.gc_slowdown(2.0), 1.0);  // clamped to 1.0, finite
+  EXPECT_TRUE(std::isfinite(m.gc_slowdown(2.0)));
+}
+
+class GcThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GcThresholdSweep, ThresholdIsExactKnee) {
+  MemoryModelParams p;
+  p.gc_threshold = GetParam();
+  MemoryModel m(p);
+  EXPECT_DOUBLE_EQ(m.gc_slowdown(GetParam()), 1.0);
+  EXPECT_GT(m.gc_slowdown(GetParam() + 0.05), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GcThresholdSweep, ::testing::Values(0.5, 0.6, 0.7, 0.8));
+
+}  // namespace
+}  // namespace harmony::cluster

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace harmony {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(MovingAverage, FirstSampleSetsValue) {
+  MovingAverage ma(0.5);
+  EXPECT_FALSE(ma.initialized());
+  ma.add(10.0);
+  EXPECT_TRUE(ma.initialized());
+  EXPECT_DOUBLE_EQ(ma.value(), 10.0);
+}
+
+TEST(MovingAverage, ExponentialUpdate) {
+  MovingAverage ma(0.5);
+  ma.add(10.0);
+  ma.add(20.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 15.0);
+  ma.add(15.0);
+  EXPECT_DOUBLE_EQ(ma.value(), 15.0);
+}
+
+TEST(MovingAverage, ConvergesToConstantStream) {
+  MovingAverage ma(0.3);
+  ma.add(100.0);
+  for (int i = 0; i < 60; ++i) ma.add(7.0);
+  EXPECT_NEAR(ma.value(), 7.0, 1e-5);
+}
+
+TEST(MovingAverage, ResetClears) {
+  MovingAverage ma(0.3);
+  ma.add(5.0);
+  ma.reset();
+  EXPECT_FALSE(ma.initialized());
+  EXPECT_EQ(ma.count(), 0u);
+}
+
+TEST(WindowedAverage, SlidesWindow) {
+  WindowedAverage wa(3);
+  wa.add(1.0);
+  wa.add(2.0);
+  wa.add(3.0);
+  EXPECT_DOUBLE_EQ(wa.mean(), 2.0);
+  wa.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(wa.mean(), 5.0);
+  EXPECT_EQ(wa.size(), 3u);
+}
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(105.0, 100.0), 0.05);
+  EXPECT_DOUBLE_EQ(relative_error(95.0, 100.0), 0.05);
+  EXPECT_DOUBLE_EQ(relative_error(1.0, 0.0, 1.0), 1.0);  // eps guards /0
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(42);
+  Rng child = a.fork();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LognormalNoiseMeanOne) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_noise(0.1);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, LognormalZeroCvIsExact) {
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(rng.lognormal_noise(0.0), 1.0);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(13);
+  std::size_t low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i)
+    if (rng.zipf(1000, 1.2) < 10) ++low;
+  // Zipf mass concentrates at small indices.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MatchesClosedFormOnLinearRamp) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  const double q = GetParam();
+  EXPECT_NEAR(s.quantile(q), q * 100.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+TEST(SampleSet, CdfMonotone) {
+  SampleSet s;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) s.add(rng.normal(0, 1));
+  double prev = 0.0;
+  for (double x = -3.0; x <= 3.0; x += 0.25) {
+    const double f = s.cdf_at(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(s.cdf_at(1e9), 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into first bin
+  h.add(0.5);
+  h.add(9.99);
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_numeric_row("beta", {2.5, 3.0});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony

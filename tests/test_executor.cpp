@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "harmony/executor.h"
+#include "harmony/synchronizer.h"
+
+namespace harmony::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+Subtask make_task(JobId job, SubtaskType type, std::function<void()> body) {
+  Subtask st;
+  st.job = job;
+  st.type = type;
+  st.body = std::move(body);
+  return st;
+}
+
+TEST(SubtaskExecutor, RunsSubmittedWork) {
+  SubtaskExecutor exec;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i)
+    exec.submit(make_task(0, SubtaskType::kComp, [&] { ++ran; }));
+  exec.drain();
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(exec.completed(SubtaskType::kComp), 10u);
+}
+
+TEST(SubtaskExecutor, CpuLaneRunsOneAtATime) {
+  SubtaskExecutor exec;  // cpu_slots = 1
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    exec.submit(make_task(0, SubtaskType::kComp, [&] {
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(2ms);
+      --concurrent;
+    }));
+  }
+  exec.drain();
+  EXPECT_EQ(peak.load(), 1);
+}
+
+TEST(SubtaskExecutor, NetworkLaneAllowsPrimaryPlusSecondary) {
+  SubtaskExecutor exec;  // network_slots = 2
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    exec.submit(make_task(0, SubtaskType::kComm, [&] {
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(5ms);
+      --concurrent;
+    }));
+  }
+  exec.drain();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 2);  // with 8 tasks of 5 ms both slots engage
+}
+
+TEST(SubtaskExecutor, LanesRunConcurrently) {
+  SubtaskExecutor exec;
+  std::atomic<bool> cpu_started{false};
+  std::atomic<bool> net_observed_cpu{false};
+  exec.submit(make_task(0, SubtaskType::kComp, [&] {
+    cpu_started = true;
+    std::this_thread::sleep_for(20ms);
+  }));
+  std::this_thread::sleep_for(5ms);
+  exec.submit(make_task(1, SubtaskType::kComm, [&] {
+    if (cpu_started.load()) net_observed_cpu = true;
+  }));
+  exec.drain();
+  // The COMM subtask ran while the long COMP subtask was still sleeping.
+  EXPECT_TRUE(net_observed_cpu.load());
+}
+
+TEST(SubtaskExecutor, OnCompleteFiresAfterBody) {
+  SubtaskExecutor exec;
+  std::atomic<int> order{0};
+  int body_at = 0, complete_at = 0;
+  Subtask st = make_task(0, SubtaskType::kComp, nullptr);
+  st.body = [&] { body_at = ++order; };
+  st.on_complete = [&] { complete_at = ++order; };
+  exec.submit(std::move(st));
+  exec.drain();
+  EXPECT_EQ(body_at, 1);
+  EXPECT_EQ(complete_at, 2);
+}
+
+TEST(SubtaskExecutor, FifoOrderWithinCpuLane) {
+  SubtaskExecutor exec;
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 20; ++i) {
+    exec.submit(make_task(0, SubtaskType::kComp, [&, i] {
+      std::scoped_lock lock(mu);
+      order.push_back(i);
+    }));
+  }
+  exec.drain();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SubtaskExecutor, NaiveWidthAllowsCpuConcurrency) {
+  SubtaskExecutor::Params params;
+  params.cpu_slots = 4;
+  SubtaskExecutor exec(params);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 12; ++i) {
+    exec.submit(make_task(0, SubtaskType::kComp, [&] {
+      const int now = ++concurrent;
+      int expected = peak.load();
+      while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(5ms);
+      --concurrent;
+    }));
+  }
+  exec.drain();
+  EXPECT_GT(peak.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(SubtaskSynchronizer, FiresWhenAllArrive) {
+  SubtaskSynchronizer sync;
+  sync.register_job(1, 3);
+  std::atomic<int> fired{0};
+  sync.begin_step(1, [&] { ++fired; });
+  sync.arrive(1);
+  sync.arrive(1);
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(sync.pending(1), 1u);
+  sync.arrive(1);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(sync.pending(1), 0u);
+}
+
+TEST(SubtaskSynchronizer, SequentialSteps) {
+  SubtaskSynchronizer sync;
+  sync.register_job(7, 2);
+  int steps = 0;
+  sync.begin_step(7, [&] { ++steps; });
+  sync.arrive(7);
+  sync.arrive(7);
+  sync.begin_step(7, [&] { ++steps; });
+  sync.arrive(7);
+  sync.arrive(7);
+  EXPECT_EQ(steps, 2);
+}
+
+TEST(SubtaskSynchronizer, ContinuationCanBeginNextStep) {
+  SubtaskSynchronizer sync;
+  sync.register_job(2, 1);
+  int chain = 0;
+  std::function<void()> advance = [&] {
+    if (++chain < 5) {
+      sync.begin_step(2, advance);
+      sync.arrive(2);
+    }
+  };
+  sync.begin_step(2, advance);
+  sync.arrive(2);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(SubtaskSynchronizer, ErrorsOnMisuse) {
+  SubtaskSynchronizer sync;
+  EXPECT_THROW(sync.begin_step(9, [] {}), std::logic_error);
+  EXPECT_THROW(sync.arrive(9), std::logic_error);
+  sync.register_job(9, 2);
+  EXPECT_THROW(sync.arrive(9), std::logic_error);  // no step in flight
+  sync.begin_step(9, [] {});
+  EXPECT_THROW(sync.begin_step(9, [] {}), std::logic_error);  // still in flight
+  EXPECT_THROW(sync.register_job(0, 0), std::invalid_argument);
+}
+
+TEST(SubtaskSynchronizer, UnregisterForgets) {
+  SubtaskSynchronizer sync;
+  sync.register_job(4, 1);
+  sync.unregister_job(4);
+  EXPECT_THROW(sync.begin_step(4, [] {}), std::logic_error);
+  EXPECT_EQ(sync.pending(4), 0u);
+}
+
+TEST(SubtaskSynchronizer, ConcurrentArrivalsFromThreads) {
+  SubtaskSynchronizer sync;
+  const std::size_t workers = 8;
+  sync.register_job(5, workers);
+  std::atomic<int> fired{0};
+  for (int round = 0; round < 20; ++round) {
+    sync.begin_step(5, [&] { ++fired; });
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < workers; ++w)
+      threads.emplace_back([&] { sync.arrive(5); });
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(fired.load(), 20);
+}
+
+TEST(ToStringHelpers, Cover) {
+  EXPECT_STREQ(to_string(SubtaskType::kComp), "COMP");
+  EXPECT_STREQ(to_string(SubtaskType::kComm), "COMM");
+  EXPECT_STREQ(to_string(JobState::kWaiting), "waiting");
+  EXPECT_STREQ(to_string(JobState::kFinished), "finished");
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ml/lasso.h"
+#include "ml/lda.h"
+#include "ml/mlr.h"
+#include "ml/nmf.h"
+
+namespace harmony::ml {
+namespace {
+
+// Runs `iters` full-data update/apply rounds — the single-worker training loop
+// without the PS plumbing.
+double train(MlApp& app, std::size_t iters, std::vector<double>& params) {
+  params.assign(app.param_dim(), 0.0);
+  app.init_params(params);
+  std::vector<double> update(app.param_dim());
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::fill(update.begin(), update.end(), 0.0);
+    app.compute_update(params, update, 0, app.num_data());
+    app.apply_update(params, update);
+  }
+  return app.loss(params);
+}
+
+TEST(Mlr, LossDecreasesAndFits) {
+  auto data = std::make_shared<DenseDataset>(make_classification(300, 8, 3, 0.05, 21));
+  MlrApp app(data, MlrConfig{0.5, 1e-5});
+  std::vector<double> params(app.param_dim(), 0.0);
+  app.init_params(params);
+  const double initial = app.loss(params);
+  const double final_loss = train(app, 60, params);
+  EXPECT_LT(final_loss, initial * 0.5);
+  EXPECT_GT(app.accuracy(params), 0.9);
+}
+
+TEST(Mlr, ParamDimIsClassesTimesFeatures) {
+  auto data = std::make_shared<DenseDataset>(make_classification(50, 7, 4, 0.1, 2));
+  MlrApp app(data);
+  EXPECT_EQ(app.param_dim(), 28u);
+  EXPECT_EQ(app.num_data(), 50u);
+  EXPECT_GT(app.input_bytes(), 0u);
+}
+
+TEST(Mlr, RejectsRegressionData) {
+  auto data = std::make_shared<DenseDataset>(make_regression(50, 5, 2, 0.1, 2));
+  EXPECT_THROW(MlrApp{data}, std::invalid_argument);
+}
+
+TEST(Mlr, PartitionedUpdatesSumToFullUpdate) {
+  auto data = std::make_shared<DenseDataset>(make_classification(100, 6, 3, 0.1, 5));
+  MlrApp app(data, MlrConfig{0.1, 0.0});  // no regularization: strict additivity
+  std::vector<double> params(app.param_dim(), 0.01);
+
+  std::vector<double> full(app.param_dim(), 0.0);
+  app.compute_update(params, full, 0, 100);
+
+  std::vector<double> a(app.param_dim(), 0.0), b(app.param_dim(), 0.0);
+  app.compute_update(params, a, 0, 50);
+  app.compute_update(params, b, 50, 100);
+  // Each partition averages over its own count; full averages over 100. So
+  // full = (a + b) / 2 for equal halves.
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_NEAR(full[i], 0.5 * (a[i] + b[i]), 1e-9);
+}
+
+TEST(Lasso, LossDecreasesAndRecoversSparsity) {
+  auto data = std::make_shared<DenseDataset>(make_regression(400, 30, 5, 0.05, 31));
+  LassoApp app(data, LassoConfig{0.05, 0.02});
+  std::vector<double> params;
+  const double final_loss = train(app, 150, params);
+  std::vector<double> zeros(app.param_dim(), 0.0);
+  EXPECT_LT(final_loss, app.loss(zeros) * 0.3);
+  // Many of the 25 off-support coordinates must be exactly zero.
+  EXPECT_GT(LassoApp::sparsity(params), 0.3);
+}
+
+TEST(Lasso, ProximalStepSoftThresholds) {
+  auto data = std::make_shared<DenseDataset>(make_regression(10, 4, 2, 0.1, 7));
+  LassoApp app(data, LassoConfig{0.1, 1.0});  // threshold = 0.1
+  std::vector<double> params{0.05, -0.05, 0.5, -0.5};
+  std::vector<double> update(4, 0.0);
+  app.apply_update(params, update);
+  EXPECT_DOUBLE_EQ(params[0], 0.0);  // |0.05| < 0.1 -> zeroed
+  EXPECT_DOUBLE_EQ(params[1], 0.0);
+  EXPECT_DOUBLE_EQ(params[2], 0.4);  // shrunk by 0.1
+  EXPECT_DOUBLE_EQ(params[3], -0.4);
+}
+
+TEST(Lasso, RejectsClassificationData) {
+  auto data = std::make_shared<DenseDataset>(make_classification(50, 5, 2, 0.1, 2));
+  EXPECT_THROW(LassoApp{data}, std::invalid_argument);
+}
+
+TEST(Nmf, LossDecreases) {
+  auto data = std::make_shared<RatingsDataset>(make_ratings(60, 50, 4, 0.25, 0.05, 41));
+  NmfApp app(data, NmfConfig{8, 0.05, 1e-4, 7});
+  std::vector<double> params;
+  std::vector<double> init(app.param_dim());
+  app.init_params(init);
+  const double initial = app.loss(init);
+  const double final_loss = train(app, 80, params);
+  EXPECT_LT(final_loss, initial * 0.5);
+}
+
+TEST(Nmf, ParametersStayNonNegative) {
+  auto data = std::make_shared<RatingsDataset>(make_ratings(30, 25, 3, 0.3, 0.05, 43));
+  NmfApp app(data, NmfConfig{4, 0.1, 1e-4, 3});
+  std::vector<double> params;
+  train(app, 30, params);
+  for (double p : params) EXPECT_GE(p, 0.0);
+}
+
+TEST(Nmf, PartitionByUserRange) {
+  auto data = std::make_shared<RatingsDataset>(make_ratings(20, 15, 3, 0.3, 0.05, 47));
+  NmfApp app(data);
+  EXPECT_EQ(app.num_data(), 20u);  // partitioned by users
+  EXPECT_EQ(app.param_dim(), 15u * app.config().rank);
+}
+
+TEST(Lda, LikelihoodImprovesOverSweeps) {
+  auto data = std::make_shared<CorpusDataset>(make_corpus(60, 150, 4, 25, 51));
+  LdaApp app(data, LdaConfig{4, 0.1, 0.01, 13});
+  std::vector<double> params(app.param_dim(), 0.0);
+  app.init_params(params);
+  std::vector<double> update(app.param_dim());
+
+  // First sweep initializes assignments.
+  std::fill(update.begin(), update.end(), 0.0);
+  app.compute_update(params, update, 0, app.num_data());
+  app.apply_update(params, update);
+  const double after_init = app.loss(params);
+
+  for (int i = 0; i < 25; ++i) {
+    std::fill(update.begin(), update.end(), 0.0);
+    app.compute_update(params, update, 0, app.num_data());
+    app.apply_update(params, update);
+  }
+  const double after_training = app.loss(params);
+  EXPECT_LT(after_training, after_init);
+}
+
+TEST(Lda, CountsStayConsistent) {
+  auto data = std::make_shared<CorpusDataset>(make_corpus(20, 60, 3, 15, 53));
+  LdaApp app(data, LdaConfig{3, 0.1, 0.01, 17});
+  std::vector<double> params(app.param_dim(), 0.0);
+  std::vector<double> update(app.param_dim());
+  double total_tokens = 0.0;
+  for (const auto& doc : data->docs) total_tokens += static_cast<double>(doc.tokens.size());
+
+  for (int sweep = 0; sweep < 5; ++sweep) {
+    std::fill(update.begin(), update.end(), 0.0);
+    app.compute_update(params, update, 0, app.num_data());
+    app.apply_update(params, update);
+    // Sum of all topic-word counts equals the corpus token count; topic
+    // totals are the same mass counted the other way.
+    double word_counts = 0.0, topic_totals = 0.0;
+    const std::size_t wt = data->vocab_size * 3;
+    for (std::size_t i = 0; i < wt; ++i) word_counts += params[i];
+    for (std::size_t i = wt; i < params.size(); ++i) topic_totals += params[i];
+    EXPECT_NEAR(word_counts, total_tokens, 1e-6);
+    EXPECT_NEAR(topic_totals, total_tokens, 1e-6);
+  }
+}
+
+TEST(Lda, DisjointPartitionsAreIndependent) {
+  auto data = std::make_shared<CorpusDataset>(make_corpus(10, 40, 2, 10, 57));
+  LdaApp app(data, LdaConfig{2, 0.1, 0.01, 19});
+  std::vector<double> params(app.param_dim(), 0.0);
+  std::vector<double> u1(app.param_dim(), 0.0), u2(app.param_dim(), 0.0);
+  app.compute_update(params, u1, 0, 5);
+  app.compute_update(params, u2, 5, 10);
+  // Both partitions produce non-trivial count deltas.
+  double s1 = 0.0, s2 = 0.0;
+  for (double v : u1) s1 += std::abs(v);
+  for (double v : u2) s2 += std::abs(v);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_GT(s2, 0.0);
+}
+
+// Every app exposes coherent metadata.
+class AppMetadataTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppMetadataTest, MetadataCoherent) {
+  std::unique_ptr<MlApp> app;
+  switch (GetParam()) {
+    case 0:
+      app = std::make_unique<MlrApp>(
+          std::make_shared<DenseDataset>(make_classification(40, 5, 3, 0.1, 1)));
+      break;
+    case 1:
+      app = std::make_unique<LassoApp>(
+          std::make_shared<DenseDataset>(make_regression(40, 5, 2, 0.1, 1)));
+      break;
+    case 2:
+      app = std::make_unique<NmfApp>(
+          std::make_shared<RatingsDataset>(make_ratings(20, 15, 3, 0.3, 0.05, 1)));
+      break;
+    case 3:
+      app = std::make_unique<LdaApp>(
+          std::make_shared<CorpusDataset>(make_corpus(15, 50, 3, 10, 1)));
+      break;
+  }
+  ASSERT_NE(app, nullptr);
+  EXPECT_FALSE(app->name().empty());
+  EXPECT_GT(app->param_dim(), 0u);
+  EXPECT_GT(app->num_data(), 0u);
+  EXPECT_GT(app->input_bytes(), 0u);
+  EXPECT_EQ(app->model_bytes(), app->param_dim() * sizeof(double));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppMetadataTest, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace harmony::ml

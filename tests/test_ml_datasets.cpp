@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.h"
+
+namespace harmony::ml {
+namespace {
+
+TEST(MakeClassification, ShapeAndLabels) {
+  const auto ds = make_classification(200, 10, 4, 0.1, 1);
+  EXPECT_EQ(ds.size(), 200u);
+  EXPECT_EQ(ds.feature_dim, 10u);
+  EXPECT_EQ(ds.num_classes, 4u);
+  std::set<double> labels;
+  for (const auto& ex : ds.examples) {
+    EXPECT_EQ(ex.features.size(), 10u);
+    EXPECT_GE(ex.label, 0.0);
+    EXPECT_LT(ex.label, 4.0);
+    labels.insert(ex.label);
+  }
+  // All classes should actually occur.
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(MakeClassification, DeterministicInSeed) {
+  const auto a = make_classification(50, 5, 3, 0.1, 9);
+  const auto b = make_classification(50, 5, 3, 0.1, 9);
+  const auto c = make_classification(50, 5, 3, 0.1, 10);
+  EXPECT_EQ(a.examples[0].features, b.examples[0].features);
+  EXPECT_NE(a.examples[0].features, c.examples[0].features);
+}
+
+TEST(MakeRegression, PlantedSparsity) {
+  const auto ds = make_regression(100, 20, 5, 0.01, 3);
+  EXPECT_EQ(ds.num_classes, 0u);
+  EXPECT_EQ(ds.feature_dim, 20u);
+  EXPECT_EQ(ds.size(), 100u);
+  // Labels should not all be zero (the planted weights are nonzero).
+  double sum_abs = 0.0;
+  for (const auto& ex : ds.examples) sum_abs += std::abs(ex.label);
+  EXPECT_GT(sum_abs, 1.0);
+}
+
+TEST(MakeRatings, StructureAndRange) {
+  const auto ds = make_ratings(50, 40, 4, 0.2, 0.05, 5);
+  EXPECT_EQ(ds.num_users, 50u);
+  EXPECT_EQ(ds.num_items, 40u);
+  ASSERT_EQ(ds.user_offsets.size(), 51u);
+  EXPECT_EQ(ds.user_offsets.front(), 0u);
+  EXPECT_EQ(ds.user_offsets.back(), ds.ratings.size());
+  for (const auto& r : ds.ratings) {
+    EXPECT_LT(r.user, 50u);
+    EXPECT_LT(r.item, 40u);
+    EXPECT_GE(r.value, 1.0);
+    EXPECT_LE(r.value, 5.0);
+  }
+}
+
+TEST(MakeRatings, UserOffsetsPartitionRatings) {
+  const auto ds = make_ratings(30, 30, 3, 0.3, 0.05, 8);
+  for (std::size_t u = 0; u < ds.num_users; ++u) {
+    for (std::size_t k = ds.user_offsets[u]; k < ds.user_offsets[u + 1]; ++k)
+      EXPECT_EQ(ds.ratings[k].user, u);
+  }
+}
+
+TEST(MakeRatings, DensityRoughlyRespected) {
+  const auto ds = make_ratings(100, 100, 4, 0.1, 0.05, 2);
+  // ~10 ratings per user, minus duplicate collisions.
+  const double per_user = static_cast<double>(ds.ratings.size()) / 100.0;
+  EXPECT_GT(per_user, 5.0);
+  EXPECT_LE(per_user, 10.5);
+}
+
+TEST(MakeCorpus, TokensInVocab) {
+  const auto ds = make_corpus(40, 200, 5, 30, 4);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.vocab_size, 200u);
+  EXPECT_GT(ds.total_tokens(), 40u * 4u);
+  for (const auto& doc : ds.docs) {
+    EXPECT_GE(doc.tokens.size(), 4u);
+    for (auto tok : doc.tokens) EXPECT_LT(tok, 200u);
+  }
+}
+
+TEST(MakeCorpus, Deterministic) {
+  const auto a = make_corpus(10, 50, 3, 20, 6);
+  const auto b = make_corpus(10, 50, 3, 20, 6);
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  EXPECT_EQ(a.docs[0].tokens, b.docs[0].tokens);
+}
+
+TEST(DatasetBytes, PositiveAndScaling) {
+  const auto small = make_classification(10, 5, 2, 0.1, 1);
+  const auto large = make_classification(100, 5, 2, 0.1, 1);
+  EXPECT_GT(small.bytes(), 0u);
+  EXPECT_GT(large.bytes(), small.bytes());
+}
+
+}  // namespace
+}  // namespace harmony::ml

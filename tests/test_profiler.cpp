@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "harmony/profiler.h"
+
+namespace harmony::core {
+namespace {
+
+TEST(Profiler, EmptyHasNoProfile) {
+  Profiler p;
+  EXPECT_FALSE(p.has_profile(1));
+  EXPECT_FALSE(p.is_profiled(1));
+  EXPECT_FALSE(p.profile(1).has_value());
+  EXPECT_EQ(p.sample_count(1), 0u);
+}
+
+TEST(Profiler, NormalizesCpuWorkByMachines) {
+  Profiler p;
+  // 10 s of COMP on 4 machines => 40 machine-seconds of work.
+  p.record(1, 4, 10.0, 3.0);
+  const auto prof = p.profile(1);
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_DOUBLE_EQ(prof->cpu_work, 40.0);
+  EXPECT_DOUBLE_EQ(prof->t_net, 3.0);
+  // Recovered at another DoP (Eq. 2).
+  EXPECT_DOUBLE_EQ(prof->t_cpu(8), 5.0);
+}
+
+TEST(Profiler, DopInvariantAcrossMigrations) {
+  Profiler p;
+  // The same job measured on different group sizes should agree.
+  p.record(1, 4, 10.0, 3.0);   // 40 machine-sec
+  p.record(1, 8, 5.0, 3.0);    // 40 machine-sec
+  p.record(1, 16, 2.5, 3.0);   // 40 machine-sec
+  const auto prof = p.profile(1);
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_NEAR(prof->cpu_work, 40.0, 1e-9);
+}
+
+TEST(Profiler, MovingAverageTracksDrift) {
+  Profiler p(Profiler::Params{0.5, 1});
+  p.record(2, 1, 10.0, 1.0);
+  p.record(2, 1, 20.0, 1.0);
+  const auto prof = p.profile(2);
+  ASSERT_TRUE(prof.has_value());
+  EXPECT_DOUBLE_EQ(prof->cpu_work, 15.0);
+}
+
+TEST(Profiler, IsProfiledAfterMinSamples) {
+  Profiler p(Profiler::Params{0.3, 3});
+  p.record(3, 2, 1.0, 1.0);
+  EXPECT_TRUE(p.has_profile(3));
+  EXPECT_FALSE(p.is_profiled(3));
+  p.record(3, 2, 1.0, 1.0);
+  EXPECT_FALSE(p.is_profiled(3));
+  p.record(3, 2, 1.0, 1.0);
+  EXPECT_TRUE(p.is_profiled(3));
+  EXPECT_EQ(p.sample_count(3), 3u);
+}
+
+TEST(Profiler, ForgetErases) {
+  Profiler p;
+  p.record(4, 1, 1.0, 1.0);
+  p.forget(4);
+  EXPECT_FALSE(p.has_profile(4));
+}
+
+TEST(Profiler, RejectsBadInputs) {
+  Profiler p;
+  EXPECT_THROW(p.record(1, 0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.record(1, 1, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.record(1, 1, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Profiler, TracksMultipleJobsIndependently) {
+  Profiler p;
+  p.record(1, 2, 4.0, 1.0);
+  p.record(2, 4, 4.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.profile(1)->cpu_work, 8.0);
+  EXPECT_DOUBLE_EQ(p.profile(2)->cpu_work, 16.0);
+  EXPECT_DOUBLE_EQ(p.profile(2)->t_net, 2.0);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "ml/mlr.h"
+#include "ps/network.h"
+#include "ps/partition.h"
+#include "ps/ps_system.h"
+#include "ps/serialization.h"
+#include "ps/server.h"
+
+namespace harmony::ps {
+namespace {
+
+TEST(Serialization, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.put_u32(42);
+  w.put_u64(1ULL << 40);
+  w.put_double(3.25);
+  w.put_string("harmony");
+  const auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u32(), 42u);
+  EXPECT_EQ(r.get_u64(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(r.get_double(), 3.25);
+  EXPECT_EQ(r.get_string(), "harmony");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialization, DoubleVectorRoundTrip) {
+  ByteWriter w;
+  const std::vector<double> values{1.0, -2.5, 1e300, 0.0};
+  w.put_doubles(values);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.get_doubles(), values);
+}
+
+TEST(Serialization, GetDoublesInto) {
+  ByteWriter w;
+  w.put_doubles(std::vector<double>{1.0, 2.0, 3.0});
+  std::vector<double> out(3);
+  ByteReader r(w.buffer());
+  r.get_doubles_into(out);
+  EXPECT_EQ(out, (std::vector<double>{1.0, 2.0, 3.0}));
+
+  std::vector<double> wrong(2);
+  ByteReader r2(w.buffer());
+  EXPECT_THROW(r2.get_doubles_into(wrong), std::runtime_error);
+}
+
+TEST(Serialization, OutOfDataThrows) {
+  ByteWriter w;
+  w.put_u32(1);
+  ByteReader r(w.buffer());
+  r.get_u32();
+  EXPECT_THROW(r.get_u64(), std::runtime_error);
+}
+
+TEST(Partition, EvenSplitCoversRange) {
+  const auto parts = partition_evenly(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], (Range{0, 4}));
+  EXPECT_EQ(parts[1], (Range{4, 7}));
+  EXPECT_EQ(parts[2], (Range{7, 10}));
+}
+
+TEST(Partition, MorePartsThanItems) {
+  const auto parts = partition_evenly(2, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 1u);
+  EXPECT_EQ(parts[1].size(), 1u);
+  EXPECT_TRUE(parts[2].empty());
+  EXPECT_TRUE(parts[3].empty());
+}
+
+TEST(Partition, ZeroPartsThrows) {
+  EXPECT_THROW(partition_evenly(5, 0), std::invalid_argument);
+  EXPECT_THROW(partition_of(0, 5, 0), std::invalid_argument);
+}
+
+class PartitionOfSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PartitionOfSweep, AgreesWithPartitionEvenly) {
+  const auto [total, parts] = GetParam();
+  const auto ranges = partition_evenly(total, parts);
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t p = partition_of(i, total, parts);
+    ASSERT_LT(p, ranges.size());
+    EXPECT_TRUE(ranges[p].contains(i)) << "key " << i << " part " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionOfSweep,
+    ::testing::Values(std::make_tuple(10, 3), std::make_tuple(100, 7), std::make_tuple(5, 5),
+                      std::make_tuple(13, 4), std::make_tuple(1, 1), std::make_tuple(17, 16)));
+
+TEST(Nic, UnthrottledIsInstant) {
+  Nic nic(0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  nic.transfer(100'000'000);
+  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(elapsed, 0.05);
+  EXPECT_EQ(nic.bytes_transferred(), 100'000'000u);
+}
+
+TEST(Nic, ThrottleTakesProportionalTime) {
+  Nic nic(10e6);  // 10 MB/s
+  const auto t0 = std::chrono::steady_clock::now();
+  nic.transfer(500'000);  // 50 ms
+  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(elapsed, 0.045);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(Nic, ConcurrentTransfersSerialize) {
+  Nic nic(10e6);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread a([&] { nic.transfer(300'000); });  // 30 ms
+  std::thread b([&] { nic.transfer(300'000); });  // 30 ms
+  a.join();
+  b.join();
+  const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GE(elapsed, 0.055);  // ~60 ms total, not 30
+}
+
+TEST(ServerShard, PullPushRoundTrip) {
+  ServerShard shard(Range{10, 14}, [](std::span<double> p, std::span<const double> u) {
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] += u[i];
+  });
+  shard.load(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+
+  const auto payload = shard.serialize_params();
+  ByteReader r(payload);
+  EXPECT_EQ(r.get_u64(), 10u);
+  EXPECT_EQ(r.get_doubles(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+
+  ByteWriter push;
+  push.put_u64(10);
+  push.put_doubles(std::vector<double>{0.5, 0.5, 0.5, 0.5});
+  EXPECT_EQ(shard.apply_push(push.buffer()), 4u);
+  EXPECT_EQ(shard.snapshot(), (std::vector<double>{1.5, 2.5, 3.5, 4.5}));
+  EXPECT_EQ(shard.pushes_applied(), 1u);
+}
+
+TEST(ServerShard, RejectsWrongShardAndSize) {
+  ServerShard shard(Range{0, 2}, [](std::span<double>, std::span<const double>) {});
+  ByteWriter wrong_shard;
+  wrong_shard.put_u64(5);
+  wrong_shard.put_doubles(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(shard.apply_push(wrong_shard.buffer()), std::runtime_error);
+
+  ByteWriter wrong_size;
+  wrong_size.put_u64(0);
+  wrong_size.put_doubles(std::vector<double>{1.0});
+  EXPECT_THROW(shard.apply_push(wrong_size.buffer()), std::runtime_error);
+}
+
+TEST(PsSystem, TrainsMlrSequentially) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(200, 6, 3, 0.05, 77));
+  auto app = std::make_shared<ml::MlrApp>(data, ml::MlrConfig{0.5, 1e-5});
+  PsSystem ps(app, 4);
+  ps.init_model();
+  const double initial = ps.loss();
+  ps.run_iterations_sequential(40);
+  EXPECT_LT(ps.loss(), initial * 0.5);
+}
+
+TEST(PsSystem, ShardsPartitionModel) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(40, 5, 3, 0.1, 3));
+  auto app = std::make_shared<ml::MlrApp>(data);
+  PsSystem ps(app, 4);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < ps.num_shards(); ++s) covered += ps.shard(s).range().size();
+  EXPECT_EQ(covered, app->param_dim());
+}
+
+TEST(PsSystem, WorkersPartitionData) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(41, 5, 3, 0.1, 3));
+  auto app = std::make_shared<ml::MlrApp>(data);
+  PsSystem ps(app, 4);
+  std::size_t covered = 0;
+  for (std::size_t w = 0; w < ps.num_machines(); ++w) covered += ps.worker(w).data_range().size();
+  EXPECT_EQ(covered, 41u);
+}
+
+TEST(PsSystem, MiniBatchesAdvanceEpochs) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(60, 5, 2, 0.1, 5));
+  auto app = std::make_shared<ml::MlrApp>(data);
+  PsConfig config;
+  config.batches_per_epoch = 3;
+  PsSystem ps(app, 2, config);
+  ps.init_model();
+  ps.run_iterations_sequential(6);
+  EXPECT_EQ(ps.worker(0).iterations_done(), 6u);
+  EXPECT_EQ(ps.worker(0).epochs_done(), 2u);
+}
+
+TEST(PsSystem, NullAppThrows) {
+  EXPECT_THROW(PsSystem(nullptr, 2), std::invalid_argument);
+}
+
+TEST(PsWorker, FullIterationUpdatesModel) {
+  auto data = std::make_shared<ml::DenseDataset>(ml::make_classification(50, 4, 2, 0.1, 9));
+  auto app = std::make_shared<ml::MlrApp>(data, ml::MlrConfig{0.3, 0.0});
+  PsSystem ps(app, 2);
+  ps.init_model();
+  const auto before = ps.full_model();
+  ps.worker(0).run_iteration();
+  ps.worker(1).run_iteration();
+  const auto after = ps.full_model();
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace harmony::ps

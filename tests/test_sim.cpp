@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace harmony::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TieBreaksFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelIsNoopAfterFire) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.run();
+  sim.cancel(id);  // harmless
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsFire) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(0.5, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(1.0, [&] { sim.schedule_in(2.0, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { sim.schedule_in(1.0, tick); };
+  sim.schedule_in(1.0, tick);
+  sim.run(100);
+  EXPECT_EQ(sim.events_fired(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(FifoResource, ServesSequentially) {
+  Simulator sim;
+  FifoResource r(sim, "cpu");
+  std::vector<double> done_at;
+  r.submit(2.0, [&] { done_at.push_back(sim.now()); });
+  r.submit(3.0, [&] { done_at.push_back(sim.now()); });
+  r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(done_at, (std::vector<double>{2.0, 5.0, 6.0}));
+}
+
+TEST(FifoResource, BusyTimeExcludesIdle) {
+  Simulator sim;
+  FifoResource r(sim, "cpu");
+  r.submit(2.0, [] {});
+  sim.run();
+  sim.schedule_at(10.0, [&] { r.submit(1.0, [] {}); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 3.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 11.0);
+}
+
+TEST(FifoResource, CancelPending) {
+  Simulator sim;
+  FifoResource r(sim, "cpu");
+  int done = 0;
+  r.submit(2.0, [&] { ++done; });
+  const TaskId second = r.submit(2.0, [&] { ++done; });
+  EXPECT_TRUE(r.cancel_pending(second));
+  EXPECT_FALSE(r.cancel_pending(second));
+  sim.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(FifoResource, CompletionCanResubmit) {
+  Simulator sim;
+  FifoResource r(sim, "cpu");
+  int rounds = 0;
+  std::function<void()> again = [&] {
+    if (++rounds < 3) r.submit(1.0, again);
+  };
+  r.submit(1.0, again);
+  sim.run();
+  EXPECT_EQ(rounds, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SharedResource, SingleTaskRunsAtFullRate) {
+  Simulator sim;
+  SharedResource r(sim, "net", 2.0);  // 2 units/sec
+  double done_at = -1.0;
+  r.submit(4.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(SharedResource, TwoTasksShareCapacity) {
+  Simulator sim;
+  SharedResource r(sim, "net", 1.0);
+  std::vector<double> done_at;
+  r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), 2u);
+  // Each gets rate 1/2, so both finish at t = 2.
+  EXPECT_NEAR(done_at[0], 2.0, 1e-9);
+  EXPECT_NEAR(done_at[1], 2.0, 1e-9);
+}
+
+TEST(SharedResource, LateArrivalSlowsFirstTask) {
+  Simulator sim;
+  SharedResource r(sim, "net", 1.0);
+  double first_done = -1.0, second_done = -1.0;
+  r.submit(2.0, [&] { first_done = sim.now(); });
+  sim.schedule_at(1.0, [&] { r.submit(0.5, [&] { second_done = sim.now(); }); });
+  sim.run();
+  // First task: 1s alone (1 unit done), then shares; remaining 1 unit at rate
+  // 1/2 while the 0.5-unit task drains (done at t=2), then full rate again:
+  // at t=2 first has 0.5 left -> finishes at 2.5.
+  EXPECT_NEAR(second_done, 2.0, 1e-9);
+  EXPECT_NEAR(first_done, 2.5, 1e-9);
+}
+
+TEST(SharedResource, InterferencePenaltySlowsEveryone) {
+  Simulator sim;
+  SharedResource r(sim, "cpu", 1.0, 0.5);  // 50% penalty per extra task
+  std::vector<double> done_at;
+  r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  // Rate per task = 1 / 2 / (1 + 0.5) = 1/3 -> both done at t = 3 (vs 2
+  // without interference).
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_NEAR(done_at[1], 3.0, 1e-9);
+}
+
+TEST(SharedResource, WorkCompletedAccounting) {
+  Simulator sim;
+  SharedResource r(sim, "cpu", 1.0);
+  r.submit(3.0, [] {});
+  r.submit(1.0, [] {});
+  sim.run();
+  EXPECT_NEAR(r.work_completed(), 4.0, 1e-9);
+  EXPECT_NEAR(r.busy_time(), 4.0, 1e-9);  // work-conserving
+}
+
+TEST(SharedResource, ZeroWorkCompletesImmediately) {
+  Simulator sim;
+  SharedResource r(sim, "cpu", 1.0);
+  bool done = false;
+  r.submit(0.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+class SharedFairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedFairnessSweep, NEqualTasksFinishTogether) {
+  const int n = GetParam();
+  Simulator sim;
+  SharedResource r(sim, "cpu", 1.0);
+  std::vector<double> done_at;
+  for (int i = 0; i < n; ++i) r.submit(1.0, [&] { done_at.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_at.size(), static_cast<std::size_t>(n));
+  for (double d : done_at) EXPECT_NEAR(d, static_cast<double>(n), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fairness, SharedFairnessSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace harmony::sim

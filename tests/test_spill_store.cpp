@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harmony/spill_manager.h"
+#include "harmony/spill_store.h"
+
+namespace harmony::core {
+namespace {
+
+class SpillStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("harmony-spill-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SpillStoreTest, SpillReloadRoundTrip) {
+  DiskSpillStore store(dir_);
+  const std::vector<double> block{1.0, -2.5, 3.25, 1e100, 0.0};
+  store.spill(3, 7, block);
+  EXPECT_TRUE(store.contains(3, 7));
+  EXPECT_EQ(store.reload(3, 7), block);
+}
+
+TEST_F(SpillStoreTest, AccountingTracksBytes) {
+  DiskSpillStore store(dir_);
+  store.spill(1, 0, std::vector<double>(100, 1.0));
+  store.spill(1, 1, std::vector<double>(50, 2.0));
+  EXPECT_EQ(store.blocks_on_disk(), 2u);
+  EXPECT_EQ(store.bytes_on_disk(), 150u * sizeof(double));
+  store.reload(1, 0);
+  EXPECT_EQ(store.bytes_reloaded_total(), 100u * sizeof(double));
+  // Reload does not remove the block (reloads can repeat every iteration).
+  EXPECT_TRUE(store.contains(1, 0));
+}
+
+TEST_F(SpillStoreTest, OverwriteReplacesBlock) {
+  DiskSpillStore store(dir_);
+  store.spill(1, 0, std::vector<double>(100, 1.0));
+  store.spill(1, 0, std::vector<double>(10, 9.0));
+  EXPECT_EQ(store.bytes_on_disk(), 10u * sizeof(double));
+  EXPECT_EQ(store.reload(1, 0), std::vector<double>(10, 9.0));
+}
+
+TEST_F(SpillStoreTest, MissingBlockThrows) {
+  DiskSpillStore store(dir_);
+  EXPECT_THROW(store.reload(9, 9), std::runtime_error);
+  EXPECT_FALSE(store.contains(9, 9));
+}
+
+TEST_F(SpillStoreTest, RemoveAndRemoveJob) {
+  DiskSpillStore store(dir_);
+  store.spill(1, 0, std::vector<double>(10, 1.0));
+  store.spill(1, 1, std::vector<double>(10, 1.0));
+  store.spill(2, 0, std::vector<double>(10, 1.0));
+  store.remove(1, 0);
+  EXPECT_FALSE(store.contains(1, 0));
+  EXPECT_EQ(store.blocks_on_disk(), 2u);
+  store.remove_job(1);
+  EXPECT_FALSE(store.contains(1, 1));
+  EXPECT_TRUE(store.contains(2, 0));
+  EXPECT_EQ(store.bytes_on_disk(), 10u * sizeof(double));
+}
+
+TEST_F(SpillStoreTest, JobsAndBlocksAreIndependent) {
+  DiskSpillStore store(dir_);
+  store.spill(1, 0, std::vector<double>{1.0});
+  store.spill(2, 0, std::vector<double>{2.0});
+  EXPECT_EQ(store.reload(1, 0), std::vector<double>{1.0});
+  EXPECT_EQ(store.reload(2, 0), std::vector<double>{2.0});
+}
+
+TEST_F(SpillStoreTest, DestructorCleansFiles) {
+  {
+    DiskSpillStore store(dir_);
+    store.spill(1, 0, std::vector<double>(64, 3.0));
+    EXPECT_FALSE(std::filesystem::is_empty(dir_));
+  }
+  // All .spill files gone after teardown.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 0u);
+}
+
+// Driving the real store from the BlockManager's decisions: the accounting
+// layer says which blocks go to disk; the store moves the bytes; the two
+// stay consistent.
+TEST_F(SpillStoreTest, BlockManagerDrivesTheStore) {
+  constexpr std::size_t kBlocks = 10;
+  constexpr std::size_t kBlockDoubles = 256;
+  BlockManager manager(kBlocks * kBlockDoubles * sizeof(double),
+                       kBlockDoubles * sizeof(double));
+  DiskSpillStore store(dir_);
+
+  // The "dataset": 10 blocks of doubles.
+  std::vector<std::vector<double>> blocks(kBlocks, std::vector<double>(kBlockDoubles));
+  for (std::size_t b = 0; b < kBlocks; ++b)
+    for (std::size_t i = 0; i < kBlockDoubles; ++i)
+      blocks[b][i] = static_cast<double>(b * 1000 + i);
+
+  auto sync_store = [&](double alpha) {
+    manager.set_alpha(alpha);
+    const std::size_t disk_count = manager.disk_blocks();
+    // BlockManager spills from the back; mirror that assignment.
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      const bool should_be_on_disk = b >= kBlocks - disk_count;
+      if (should_be_on_disk && !store.contains(0, b)) {
+        store.spill(0, b, blocks[b]);
+        blocks[b].clear();  // drop the memory copy
+        blocks[b].shrink_to_fit();
+      } else if (!should_be_on_disk && store.contains(0, b)) {
+        blocks[b] = store.reload(0, b);
+        store.remove(0, b);
+      }
+    }
+  };
+
+  sync_store(0.5);
+  EXPECT_EQ(store.blocks_on_disk(), manager.disk_blocks());
+  EXPECT_EQ(store.bytes_on_disk(), static_cast<std::uint64_t>(manager.disk_bytes()));
+
+  sync_store(0.2);  // reload three blocks
+  EXPECT_EQ(store.blocks_on_disk(), 2u);
+  // Reloaded data is intact.
+  for (std::size_t b = 0; b < 8; ++b) {
+    ASSERT_EQ(blocks[b].size(), kBlockDoubles);
+    EXPECT_DOUBLE_EQ(blocks[b][1], static_cast<double>(b * 1000 + 1));
+  }
+
+  sync_store(1.0);  // everything to disk
+  EXPECT_EQ(store.blocks_on_disk(), kBlocks);
+  sync_store(0.0);  // everything back
+  EXPECT_EQ(store.blocks_on_disk(), 0u);
+  for (std::size_t b = 0; b < kBlocks; ++b)
+    EXPECT_DOUBLE_EQ(blocks[b][kBlockDoubles - 1],
+                     static_cast<double>(b * 1000 + kBlockDoubles - 1));
+}
+
+}  // namespace
+}  // namespace harmony::core

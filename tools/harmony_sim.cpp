@@ -1,0 +1,159 @@
+// harmony_sim — command-line driver for cluster-scale scheduling experiments.
+//
+//   harmony_sim [options]
+//     --policy harmony|isolated|naive   scheduling policy   (default harmony)
+//     --jobs N                          jobs from the catalog (default 80)
+//     --machines M                      cluster size          (default 100)
+//     --arrival batch|poisson:SEC|trace:SEC   arrival process (default batch)
+//     --seed S                          simulation seed       (default 1)
+//     --spill on|off                    data spill/reload     (default on)
+//     --naive-seed S                    naive grouping shuffle seed
+//     --error F                         profile error injection, e.g. 0.1
+//     --timeline                        print the utilization timeline
+//     --trace                           per-minute cluster snapshots (stderr)
+//
+// Examples:
+//   harmony_sim                                  # the paper's main setting
+//   harmony_sim --policy isolated
+//   harmony_sim --policy naive --naive-seed 3
+//   harmony_sim --jobs 20 --machines 40 --arrival poisson:120 --timeline
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+
+using namespace harmony;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--policy harmony|isolated|naive] [--jobs N] [--machines M]\n"
+               "          [--arrival batch|poisson:SEC|trace:SEC] [--seed S]\n"
+               "          [--spill on|off] [--naive-seed S] [--error F]\n"
+               "          [--timeline] [--trace]\n",
+               argv0);
+  std::exit(2);
+}
+
+double parse_suffixed(const std::string& value, const std::string& prefix) {
+  return std::stod(value.substr(prefix.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  std::string policy = "harmony";
+  std::string arrival = "batch";
+  std::size_t jobs = 80;
+  bool timeline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      policy = next();
+    } else if (arg == "--jobs") {
+      jobs = std::stoul(next());
+    } else if (arg == "--machines") {
+      config.machines = std::stoul(next());
+    } else if (arg == "--arrival") {
+      arrival = next();
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (arg == "--naive-seed") {
+      config.naive_grouping_seed = std::stoull(next());
+    } else if (arg == "--spill") {
+      config.spill_enabled = next() == "on";
+    } else if (arg == "--error") {
+      config.model_error_injection = std::stod(next());
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--trace") {
+      config.debug_trace = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (policy == "isolated") {
+    const auto seed = config.seed;
+    const auto machines = config.machines;
+    const auto err = config.model_error_injection;
+    const auto trace = config.debug_trace;
+    config = exp::ClusterSimConfig::isolated();
+    config.seed = seed;
+    config.machines = machines;
+    config.model_error_injection = err;
+    config.debug_trace = trace;
+  } else if (policy == "naive") {
+    const auto seed = config.seed;
+    const auto machines = config.machines;
+    const auto gseed = config.naive_grouping_seed;
+    const auto trace = config.debug_trace;
+    config = exp::ClusterSimConfig::naive(gseed == 0 ? 1 : gseed);
+    config.seed = seed;
+    config.machines = machines;
+    config.debug_trace = trace;
+  } else if (policy != "harmony") {
+    usage(argv[0]);
+  }
+
+  auto catalog = exp::make_catalog();
+  if (jobs < catalog.size()) catalog.resize(jobs);
+  while (catalog.size() < jobs) {
+    auto extra = catalog[catalog.size() % 80];
+    catalog.push_back(extra);
+  }
+
+  std::vector<double> arrivals;
+  if (arrival == "batch") {
+    arrivals = exp::batch_arrivals(catalog.size());
+  } else if (arrival.rfind("poisson:", 0) == 0) {
+    arrivals = exp::poisson_arrivals(catalog.size(), parse_suffixed(arrival, "poisson:"),
+                                     config.seed);
+  } else if (arrival.rfind("trace:", 0) == 0) {
+    arrivals =
+        exp::trace_arrivals(catalog.size(), parse_suffixed(arrival, "trace:"), config.seed);
+  } else {
+    usage(argv[0]);
+  }
+
+  std::printf("policy=%s jobs=%zu machines=%zu arrival=%s spill=%s\n", policy.c_str(),
+              catalog.size(), config.machines, arrival.c_str(),
+              config.spill_enabled ? "on" : "off");
+
+  exp::ClusterSim sim(config, catalog, arrivals);
+  const auto summary = sim.run();
+
+  std::printf("\nfinished %zu jobs\n", summary.jobs.size());
+  std::printf("makespan            %10.2f h\n", summary.makespan / 3600.0);
+  std::printf("mean JCT            %10.2f h\n", summary.mean_jct() / 3600.0);
+  std::printf("avg CPU utilization %10.1f %%\n", 100.0 * summary.avg_util.cpu);
+  std::printf("avg net utilization %10.1f %%\n", 100.0 * summary.avg_util.net);
+  std::printf("concurrent jobs     %10.1f  in %.1f groups\n", sim.avg_concurrent_jobs(),
+              sim.avg_concurrent_groups());
+  std::printf("regroup events      %10zu\n", summary.regroup_events);
+  std::printf("migration pauses    %10.1f min total\n",
+              summary.migration_overhead_sec / 60.0);
+  std::printf("GC time fraction    %10.2f %%\n", 100.0 * summary.gc_time_fraction);
+  std::printf("OOM events          %10zu\n", summary.oom_events);
+  std::printf("scheduler calls     %10zu  (%.1f ms wall)\n", sim.sched_invocations(),
+              1000.0 * sim.total_sched_seconds());
+  const auto alpha = sim.alpha_stats();
+  if (config.spill_enabled)
+    std::printf("alpha (disk ratio)  mean %.2f  min %.2f  max %.2f\n", alpha.mean, alpha.min,
+                alpha.max);
+
+  if (timeline) {
+    std::printf("\ntime(s)\tcpu\tnet\n%s", sim.timeline().tsv(40).c_str());
+  }
+  return 0;
+}
