@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_main_comparison.cpp" "bench/CMakeFiles/bench_fig10_main_comparison.dir/bench_fig10_main_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_main_comparison.dir/bench_fig10_main_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/harmony_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/harmony_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harmony/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/harmony_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/harmony_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

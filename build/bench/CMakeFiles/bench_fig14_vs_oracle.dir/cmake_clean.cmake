@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vs_oracle.dir/bench_fig14_vs_oracle.cpp.o"
+  "CMakeFiles/bench_fig14_vs_oracle.dir/bench_fig14_vs_oracle.cpp.o.d"
+  "bench_fig14_vs_oracle"
+  "bench_fig14_vs_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vs_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

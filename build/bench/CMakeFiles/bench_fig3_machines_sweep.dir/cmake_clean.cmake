@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_machines_sweep.dir/bench_fig3_machines_sweep.cpp.o"
+  "CMakeFiles/bench_fig3_machines_sweep.dir/bench_fig3_machines_sweep.cpp.o.d"
+  "bench_fig3_machines_sweep"
+  "bench_fig3_machines_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_machines_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

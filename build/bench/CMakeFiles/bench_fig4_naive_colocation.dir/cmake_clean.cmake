@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_naive_colocation.dir/bench_fig4_naive_colocation.cpp.o"
+  "CMakeFiles/bench_fig4_naive_colocation.dir/bench_fig4_naive_colocation.cpp.o.d"
+  "bench_fig4_naive_colocation"
+  "bench_fig4_naive_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_naive_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

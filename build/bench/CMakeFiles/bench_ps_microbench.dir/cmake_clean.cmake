@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_microbench.dir/bench_ps_microbench.cpp.o"
+  "CMakeFiles/bench_ps_microbench.dir/bench_ps_microbench.cpp.o.d"
+  "bench_ps_microbench"
+  "bench_ps_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reload_alpha.dir/bench_reload_alpha.cpp.o"
+  "CMakeFiles/bench_reload_alpha.dir/bench_reload_alpha.cpp.o.d"
+  "bench_reload_alpha"
+  "bench_reload_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reload_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_scalability.dir/bench_sched_scalability.cpp.o"
+  "CMakeFiles/bench_sched_scalability.dir/bench_sched_scalability.cpp.o.d"
+  "bench_sched_scalability"
+  "bench_sched_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_arrival.dir/bench_sensitivity_arrival.cpp.o"
+  "CMakeFiles/bench_sensitivity_arrival.dir/bench_sensitivity_arrival.cpp.o.d"
+  "bench_sensitivity_arrival"
+  "bench_sensitivity_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

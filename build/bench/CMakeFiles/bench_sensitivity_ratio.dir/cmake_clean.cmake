@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_ratio.dir/bench_sensitivity_ratio.cpp.o"
+  "CMakeFiles/bench_sensitivity_ratio.dir/bench_sensitivity_ratio.cpp.o.d"
+  "bench_sensitivity_ratio"
+  "bench_sensitivity_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scheduling.dir/cluster_scheduling.cpp.o"
+  "CMakeFiles/cluster_scheduling.dir/cluster_scheduling.cpp.o.d"
+  "cluster_scheduling"
+  "cluster_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_colocation.dir/multi_job_colocation.cpp.o"
+  "CMakeFiles/multi_job_colocation.dir/multi_job_colocation.cpp.o.d"
+  "multi_job_colocation"
+  "multi_job_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

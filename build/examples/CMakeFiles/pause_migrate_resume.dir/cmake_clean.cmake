@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_migrate_resume.dir/pause_migrate_resume.cpp.o"
+  "CMakeFiles/pause_migrate_resume.dir/pause_migrate_resume.cpp.o.d"
+  "pause_migrate_resume"
+  "pause_migrate_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_migrate_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pause_migrate_resume.
+# This may be replaced when dependencies are built.

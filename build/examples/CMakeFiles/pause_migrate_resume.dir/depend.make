@@ -1,0 +1,2 @@
+# Empty dependencies file for pause_migrate_resume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_baselines.dir/isolated.cpp.o"
+  "CMakeFiles/harmony_baselines.dir/isolated.cpp.o.d"
+  "CMakeFiles/harmony_baselines.dir/naive.cpp.o"
+  "CMakeFiles/harmony_baselines.dir/naive.cpp.o.d"
+  "CMakeFiles/harmony_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/harmony_baselines.dir/oracle.cpp.o.d"
+  "libharmony_baselines.a"
+  "libharmony_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharmony_baselines.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/harmony_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/harmony_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/cluster/CMakeFiles/harmony_cluster.dir/machine.cpp.o" "gcc" "src/cluster/CMakeFiles/harmony_cluster.dir/machine.cpp.o.d"
+  "/root/repo/src/cluster/memory_model.cpp" "src/cluster/CMakeFiles/harmony_cluster.dir/memory_model.cpp.o" "gcc" "src/cluster/CMakeFiles/harmony_cluster.dir/memory_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

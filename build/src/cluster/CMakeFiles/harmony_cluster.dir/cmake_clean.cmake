@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/harmony_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/harmony_cluster.dir/machine.cpp.o"
+  "CMakeFiles/harmony_cluster.dir/machine.cpp.o.d"
+  "CMakeFiles/harmony_cluster.dir/memory_model.cpp.o"
+  "CMakeFiles/harmony_cluster.dir/memory_model.cpp.o.d"
+  "libharmony_cluster.a"
+  "libharmony_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_common.dir/histogram.cpp.o"
+  "CMakeFiles/harmony_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/harmony_common.dir/logging.cpp.o"
+  "CMakeFiles/harmony_common.dir/logging.cpp.o.d"
+  "CMakeFiles/harmony_common.dir/stats.cpp.o"
+  "CMakeFiles/harmony_common.dir/stats.cpp.o.d"
+  "CMakeFiles/harmony_common.dir/table.cpp.o"
+  "CMakeFiles/harmony_common.dir/table.cpp.o.d"
+  "libharmony_common.a"
+  "libharmony_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_exp.dir/arrivals.cpp.o"
+  "CMakeFiles/harmony_exp.dir/arrivals.cpp.o.d"
+  "CMakeFiles/harmony_exp.dir/cluster_sim.cpp.o"
+  "CMakeFiles/harmony_exp.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/harmony_exp.dir/metrics.cpp.o"
+  "CMakeFiles/harmony_exp.dir/metrics.cpp.o.d"
+  "CMakeFiles/harmony_exp.dir/workload.cpp.o"
+  "CMakeFiles/harmony_exp.dir/workload.cpp.o.d"
+  "libharmony_exp.a"
+  "libharmony_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harmony/checkpoint.cpp" "src/harmony/CMakeFiles/harmony_core.dir/checkpoint.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/harmony/executor.cpp" "src/harmony/CMakeFiles/harmony_core.dir/executor.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/executor.cpp.o.d"
+  "/root/repo/src/harmony/job.cpp" "src/harmony/CMakeFiles/harmony_core.dir/job.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/job.cpp.o.d"
+  "/root/repo/src/harmony/perf_model.cpp" "src/harmony/CMakeFiles/harmony_core.dir/perf_model.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/harmony/profiler.cpp" "src/harmony/CMakeFiles/harmony_core.dir/profiler.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/harmony/regrouper.cpp" "src/harmony/CMakeFiles/harmony_core.dir/regrouper.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/regrouper.cpp.o.d"
+  "/root/repo/src/harmony/runtime.cpp" "src/harmony/CMakeFiles/harmony_core.dir/runtime.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/harmony/scheduler.cpp" "src/harmony/CMakeFiles/harmony_core.dir/scheduler.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/harmony/spill_manager.cpp" "src/harmony/CMakeFiles/harmony_core.dir/spill_manager.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/spill_manager.cpp.o.d"
+  "/root/repo/src/harmony/spill_store.cpp" "src/harmony/CMakeFiles/harmony_core.dir/spill_store.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/spill_store.cpp.o.d"
+  "/root/repo/src/harmony/subtask.cpp" "src/harmony/CMakeFiles/harmony_core.dir/subtask.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/subtask.cpp.o.d"
+  "/root/repo/src/harmony/synchronizer.cpp" "src/harmony/CMakeFiles/harmony_core.dir/synchronizer.cpp.o" "gcc" "src/harmony/CMakeFiles/harmony_core.dir/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/harmony_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/harmony_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/harmony_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmony_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/harmony_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/executor.cpp.o"
+  "CMakeFiles/harmony_core.dir/executor.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/job.cpp.o"
+  "CMakeFiles/harmony_core.dir/job.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/perf_model.cpp.o"
+  "CMakeFiles/harmony_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/profiler.cpp.o"
+  "CMakeFiles/harmony_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/regrouper.cpp.o"
+  "CMakeFiles/harmony_core.dir/regrouper.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/runtime.cpp.o"
+  "CMakeFiles/harmony_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/scheduler.cpp.o"
+  "CMakeFiles/harmony_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/spill_manager.cpp.o"
+  "CMakeFiles/harmony_core.dir/spill_manager.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/spill_store.cpp.o"
+  "CMakeFiles/harmony_core.dir/spill_store.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/subtask.cpp.o"
+  "CMakeFiles/harmony_core.dir/subtask.cpp.o.d"
+  "CMakeFiles/harmony_core.dir/synchronizer.cpp.o"
+  "CMakeFiles/harmony_core.dir/synchronizer.cpp.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/app.cpp" "src/ml/CMakeFiles/harmony_ml.dir/app.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/app.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/harmony_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/lasso.cpp" "src/ml/CMakeFiles/harmony_ml.dir/lasso.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/lasso.cpp.o.d"
+  "/root/repo/src/ml/lda.cpp" "src/ml/CMakeFiles/harmony_ml.dir/lda.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/lda.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/harmony_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/mlr.cpp" "src/ml/CMakeFiles/harmony_ml.dir/mlr.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/mlr.cpp.o.d"
+  "/root/repo/src/ml/nmf.cpp" "src/ml/CMakeFiles/harmony_ml.dir/nmf.cpp.o" "gcc" "src/ml/CMakeFiles/harmony_ml.dir/nmf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_ml.dir/app.cpp.o"
+  "CMakeFiles/harmony_ml.dir/app.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/dataset.cpp.o"
+  "CMakeFiles/harmony_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/lasso.cpp.o"
+  "CMakeFiles/harmony_ml.dir/lasso.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/lda.cpp.o"
+  "CMakeFiles/harmony_ml.dir/lda.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/linalg.cpp.o"
+  "CMakeFiles/harmony_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/mlr.cpp.o"
+  "CMakeFiles/harmony_ml.dir/mlr.cpp.o.d"
+  "CMakeFiles/harmony_ml.dir/nmf.cpp.o"
+  "CMakeFiles/harmony_ml.dir/nmf.cpp.o.d"
+  "libharmony_ml.a"
+  "libharmony_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ps/allreduce.cpp" "src/ps/CMakeFiles/harmony_ps.dir/allreduce.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/allreduce.cpp.o.d"
+  "/root/repo/src/ps/network.cpp" "src/ps/CMakeFiles/harmony_ps.dir/network.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/network.cpp.o.d"
+  "/root/repo/src/ps/partition.cpp" "src/ps/CMakeFiles/harmony_ps.dir/partition.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/partition.cpp.o.d"
+  "/root/repo/src/ps/ps_system.cpp" "src/ps/CMakeFiles/harmony_ps.dir/ps_system.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/ps_system.cpp.o.d"
+  "/root/repo/src/ps/serialization.cpp" "src/ps/CMakeFiles/harmony_ps.dir/serialization.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/serialization.cpp.o.d"
+  "/root/repo/src/ps/server.cpp" "src/ps/CMakeFiles/harmony_ps.dir/server.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/server.cpp.o.d"
+  "/root/repo/src/ps/worker.cpp" "src/ps/CMakeFiles/harmony_ps.dir/worker.cpp.o" "gcc" "src/ps/CMakeFiles/harmony_ps.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/harmony_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_ps.dir/allreduce.cpp.o"
+  "CMakeFiles/harmony_ps.dir/allreduce.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/network.cpp.o"
+  "CMakeFiles/harmony_ps.dir/network.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/partition.cpp.o"
+  "CMakeFiles/harmony_ps.dir/partition.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/ps_system.cpp.o"
+  "CMakeFiles/harmony_ps.dir/ps_system.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/serialization.cpp.o"
+  "CMakeFiles/harmony_ps.dir/serialization.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/server.cpp.o"
+  "CMakeFiles/harmony_ps.dir/server.cpp.o.d"
+  "CMakeFiles/harmony_ps.dir/worker.cpp.o"
+  "CMakeFiles/harmony_ps.dir/worker.cpp.o.d"
+  "libharmony_ps.a"
+  "libharmony_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sim.dir/resource.cpp.o"
+  "CMakeFiles/harmony_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/harmony_sim.dir/simulator.cpp.o"
+  "CMakeFiles/harmony_sim.dir/simulator.cpp.o.d"
+  "libharmony_sim.a"
+  "libharmony_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

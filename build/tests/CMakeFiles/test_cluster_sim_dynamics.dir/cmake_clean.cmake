@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_sim_dynamics.dir/test_cluster_sim_dynamics.cpp.o"
+  "CMakeFiles/test_cluster_sim_dynamics.dir/test_cluster_sim_dynamics.cpp.o.d"
+  "test_cluster_sim_dynamics"
+  "test_cluster_sim_dynamics.pdb"
+  "test_cluster_sim_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_sim_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

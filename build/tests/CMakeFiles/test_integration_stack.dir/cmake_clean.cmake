@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_stack.dir/test_integration_stack.cpp.o"
+  "CMakeFiles/test_integration_stack.dir/test_integration_stack.cpp.o.d"
+  "test_integration_stack"
+  "test_integration_stack.pdb"
+  "test_integration_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

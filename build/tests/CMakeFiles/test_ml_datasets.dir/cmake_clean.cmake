@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_datasets.dir/test_ml_datasets.cpp.o"
+  "CMakeFiles/test_ml_datasets.dir/test_ml_datasets.cpp.o.d"
+  "test_ml_datasets"
+  "test_ml_datasets.pdb"
+  "test_ml_datasets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

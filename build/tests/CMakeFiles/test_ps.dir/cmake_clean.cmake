@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps.dir/test_ps.cpp.o"
+  "CMakeFiles/test_ps.dir/test_ps.cpp.o.d"
+  "test_ps"
+  "test_ps.pdb"
+  "test_ps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regrouper.dir/test_regrouper.cpp.o"
+  "CMakeFiles/test_regrouper.dir/test_regrouper.cpp.o.d"
+  "test_regrouper"
+  "test_regrouper.pdb"
+  "test_regrouper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regrouper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

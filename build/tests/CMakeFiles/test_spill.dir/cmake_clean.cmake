@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill.dir/test_spill.cpp.o"
+  "CMakeFiles/test_spill.dir/test_spill.cpp.o.d"
+  "test_spill"
+  "test_spill.pdb"
+  "test_spill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spill_store.dir/test_spill_store.cpp.o"
+  "CMakeFiles/test_spill_store.dir/test_spill_store.cpp.o.d"
+  "test_spill_store"
+  "test_spill_store.pdb"
+  "test_spill_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spill_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_ps[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_model[1]_include.cmake")
+include("/root/repo/build/tests/test_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_regrouper[1]_include.cmake")
+include("/root/repo/build/tests/test_spill[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_tolerance[1]_include.cmake")
+include("/root/repo/build/tests/test_allreduce[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_sim_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_spill_store[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sim_cli.dir/harmony_sim.cpp.o"
+  "CMakeFiles/harmony_sim_cli.dir/harmony_sim.cpp.o.d"
+  "harmony-sim"
+  "harmony-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
