@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "bench_util.h"
 #include "harmony/executor.h"
 #include "ml/mlr.h"
 #include "ps/allreduce.h"
@@ -122,4 +123,4 @@ BENCHMARK(BM_ExecutorDispatch);
 BENCHMARK(BM_PsIteration)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_AllReduceIteration)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+HARMONY_BENCHMARK_JSON_MAIN("BENCH_ps_microbench.json");

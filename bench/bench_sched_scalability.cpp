@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/oracle.h"
+#include "bench_util.h"
 #include "common/rng.h"
 #include "harmony/scheduler.h"
 
@@ -50,10 +51,11 @@ void BM_OracleSchedule(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_HarmonySchedule)
-    ->Args({80, 100})      // the paper's main setting
+    ->Args({80, 100})       // the paper's main setting
     ->Args({500, 1000})
     ->Args({2000, 4000})
-    ->Args({8000, 10000})  // the paper's datacenter-scale emulation
+    ->Args({8000, 10000})   // the paper's datacenter-scale emulation
+    ->Args({20000, 20000})  // beyond the paper: stresses the incremental paths
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_OracleSchedule)
@@ -63,4 +65,4 @@ BENCHMARK(BM_OracleSchedule)
     ->Arg(11)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+HARMONY_BENCHMARK_JSON_MAIN("BENCH_sched_scalability.json");

@@ -41,3 +41,46 @@ inline double speedup(double baseline, double value) {
 }
 
 }  // namespace harmony::bench
+
+// ---------------------------------------------------------------------------
+// JSON emission for google-benchmark drivers. Only compiled when the
+// translation unit already includes <benchmark/benchmark.h>; the plain
+// figure/table drivers don't link google-benchmark and never see this block.
+#ifdef BENCHMARK_BENCHMARK_H_
+
+namespace harmony::bench {
+
+// Runs the registered benchmarks and writes the machine-readable JSON report
+// to `default_json_out` (tracked across PRs) unless the caller already passed
+// an explicit --benchmark_out=... on the command line.
+inline int run_benchmarks_emitting_json(int argc, char** argv,
+                                        const std::string& default_json_out) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=" + default_json_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace harmony::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that also emits `json_file`.
+#define HARMONY_BENCHMARK_JSON_MAIN(json_file)                            \
+  int main(int argc, char** argv) {                                       \
+    return ::harmony::bench::run_benchmarks_emitting_json(argc, argv,     \
+                                                          json_file);     \
+  }                                                                       \
+  int main(int, char**)
+
+#endif  // BENCHMARK_BENCHMARK_H_

@@ -68,6 +68,15 @@ struct ClusterSim::SimJob {
   double err_net = 1.0;
   Rng noise;
 
+  // Index memberships maintained by ClusterSim::reindex_job. They mirror the
+  // predicates the event handlers used to evaluate with whole-pool scans.
+  bool in_waiting_index = false;
+  bool in_idle_index = false;
+  bool counted_profiling = false;
+  bool counted_paused = false;
+  bool counted_profiled_ungrouped = false;
+  bool counted_finished = false;
+
   explicit SimJob(Rng rng) : noise(rng) {}
 };
 
@@ -143,6 +152,7 @@ ClusterSim::ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> worklo
     }
     jobs_.push_back(std::move(job));
   }
+  unfinished_count_ = jobs_.size();
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -380,6 +390,7 @@ void ClusterSim::end_iteration(SimJob& job, double comm_duration, double comp_du
     --g.active_members;
     job.last_group = &g;
     job.group = nullptr;
+    reindex_job(job);
     // A stopping group may have been waiting on exactly this job to drain.
     if (g.stopping && g.active_members == 0) dissolve_group(g);
     on_job_finished(job);
@@ -431,6 +442,7 @@ ClusterSim::GroupRun& ClusterSim::create_group(const std::vector<core::JobId>& m
   }
   groups_.push_back(std::move(group));
   GroupRun& g = *groups_.back();
+  active_groups_storage_.push_back(&g);
   for (core::JobId id : member_ids) place_job_in_group(*jobs_[id], g, false);
   return g;
 }
@@ -450,6 +462,7 @@ void ClusterSim::place_job_in_group(SimJob& job, GroupRun& group, bool with_migr
   group.members.push_back(job.spec.id);
   ++group.active_members;
   if (job.state != core::JobState::kProfiling) job.state = core::JobState::kRunning;
+  reindex_job(job);
   refresh_alpha(job, /*initialize=*/true);
   // Every co-tenant's memory share just shrank: recompute everyone's α for
   // the group's occupancy target.
@@ -504,6 +517,7 @@ void ClusterSim::park_job(SimJob& job, core::JobState state) {
   job.group = nullptr;
   job.state = state;
   job.alpha = 0.0;
+  reindex_job(job);
 
   if (g->stopping && g->active_members == 0) {
     dissolve_group(*g);  // dissolve advances any pending regroup itself
@@ -543,6 +557,100 @@ void ClusterSim::dissolve_group(GroupRun& group) {
 }
 
 // ---------------------------------------------------------------------------
+// Job-state / group indexes
+//
+// Every event handler used to answer "which jobs are waiting / idle / still
+// profiling?" with a full jobs_ scan and "which groups are live?" with a full
+// groups_ scan (groups_ never shrinks — dissolved groups stay for late no-op
+// events). The indexes below maintain those answers incrementally, keyed off
+// the same predicates, so the per-event cost tracks the live population
+// instead of everything ever created. The id-sorted lists reproduce the exact
+// iteration order of a jobs_ scan (ids are pool indices), which keeps every
+// downstream std::sort input sequence — and therefore its tie permutation —
+// identical to the scan-based code.
+
+void ClusterSim::reindex_job(SimJob& job) {
+  const core::JobId id = job.spec.id;
+  const bool waiting = job.arrived && job.state == core::JobState::kWaiting;
+  if (waiting != job.in_waiting_index) {
+    const auto it = std::lower_bound(waiting_ids_.begin(), waiting_ids_.end(), id);
+    if (waiting) {
+      waiting_ids_.insert(it, id);
+    } else {
+      waiting_ids_.erase(it);
+    }
+    job.in_waiting_index = waiting;
+  }
+  const bool idle =
+      job.state == core::JobState::kProfiled || job.state == core::JobState::kPaused;
+  if (idle != job.in_idle_index) {
+    const auto it = std::lower_bound(idle_ids_.begin(), idle_ids_.end(), id);
+    if (idle) {
+      idle_ids_.insert(it, id);
+    } else {
+      idle_ids_.erase(it);
+    }
+    job.in_idle_index = idle;
+  }
+  const bool profiling = job.state == core::JobState::kProfiling;
+  if (profiling != job.counted_profiling) {
+    profiling ? ++profiling_count_ : --profiling_count_;
+    job.counted_profiling = profiling;
+  }
+  const bool paused = job.state == core::JobState::kPaused;
+  if (paused != job.counted_paused) {
+    paused ? ++paused_count_ : --paused_count_;
+    job.counted_paused = paused;
+  }
+  const bool profiled_ungrouped =
+      job.state == core::JobState::kProfiled && job.group == nullptr;
+  if (profiled_ungrouped != job.counted_profiled_ungrouped) {
+    profiled_ungrouped ? ++profiled_ungrouped_count_ : --profiled_ungrouped_count_;
+    job.counted_profiled_ungrouped = profiled_ungrouped;
+  }
+  if (job.state == core::JobState::kFinished && !job.counted_finished) {
+    job.counted_finished = true;
+    --unfinished_count_;
+  }
+}
+
+void ClusterSim::set_state(SimJob& job, core::JobState state) {
+  job.state = state;
+  reindex_job(job);
+}
+
+std::vector<ClusterSim::SimJob*> ClusterSim::waiting_jobs_by_submit() {
+  std::vector<SimJob*> waiting;
+  waiting.reserve(waiting_ids_.size());
+  for (core::JobId id : waiting_ids_) waiting.push_back(jobs_[id].get());
+  std::sort(waiting.begin(), waiting.end(),
+            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
+  return waiting;
+}
+
+std::vector<ClusterSim::GroupRun*>& ClusterSim::active_groups() {
+  if (group_iter_depth_ == 0) {
+    std::erase_if(active_groups_storage_, [](GroupRun* g) { return g->dissolved; });
+  }
+  return active_groups_storage_;
+}
+
+void ClusterSim::dissolve_emptied_groups(bool skip_stopping) {
+  // Indexed iteration: dissolve can re-enter through try_apply_pending and
+  // append freshly created groups, which must be visited too. The depth guard
+  // keeps nested active_groups() calls from compacting the storage (and
+  // shifting indices) while this loop is in flight.
+  active_groups();
+  ++group_iter_depth_;
+  for (std::size_t gi = 0; gi < active_groups_storage_.size(); ++gi) {
+    GroupRun& g = *active_groups_storage_[gi];
+    if (g.dissolved || (skip_stopping && g.stopping)) continue;
+    if (g.members.empty() && g.active_members == 0) dissolve_group(g);
+  }
+  --group_iter_depth_;
+}
+
+// ---------------------------------------------------------------------------
 // Scheduling — shared helpers
 
 core::SchedJob ClusterSim::sched_view(const SimJob& job) {
@@ -561,9 +669,8 @@ core::SchedJob ClusterSim::sched_view(const SimJob& job) {
 
 std::vector<core::SchedJob> ClusterSim::idle_sched_jobs() const {
   std::vector<const SimJob*> idle;
-  for (const auto& job : jobs_)
-    if (job->state == core::JobState::kProfiled || job->state == core::JobState::kPaused)
-      idle.push_back(job.get());
+  idle.reserve(idle_ids_.size());
+  for (core::JobId id : idle_ids_) idle.push_back(jobs_[id].get());
   std::sort(idle.begin(), idle.end(), [](const SimJob* a, const SimJob* b) {
     return a->submit_time < b->submit_time;
   });
@@ -577,7 +684,7 @@ std::vector<core::SchedJob> ClusterSim::idle_sched_jobs() const {
 std::vector<core::RunningGroup> ClusterSim::running_groups_view() const {
   std::vector<core::RunningGroup> out;
   auto* self = const_cast<ClusterSim*>(this);
-  for (const auto& g : groups_) {
+  for (GroupRun* g : self->active_groups()) {
     if (g->dissolved || g->stopping) continue;
     core::RunningGroup rg;
     rg.machines = g->machines;
@@ -592,8 +699,8 @@ std::vector<core::RunningGroup> ClusterSim::running_groups_view() const {
 
 std::vector<ClusterSim::GroupRun*> ClusterSim::live_groups() const {
   std::vector<GroupRun*> out;
-  for (const auto& g : groups_)
-    if (!g->dissolved && !g->stopping) out.push_back(g.get());
+  for (GroupRun* g : const_cast<ClusterSim*>(this)->active_groups())
+    if (!g->dissolved && !g->stopping) out.push_back(g);
   return out;
 }
 
@@ -602,7 +709,7 @@ std::vector<ClusterSim::GroupRun*> ClusterSim::live_groups() const {
 
 void ClusterSim::on_job_arrival(SimJob& job) {
   job.arrived = true;
-  job.state = core::JobState::kWaiting;
+  set_state(job, core::JobState::kWaiting);
   switch (config_.grouping) {
     case GroupingPolicy::kIsolated:
       try_schedule_isolated();
@@ -635,13 +742,9 @@ void ClusterSim::on_job_arrival(SimJob& job) {
 }
 
 void ClusterSim::maybe_start_profiling() {
-  // Collect waiting jobs, oldest first.
-  std::vector<SimJob*> waiting;
-  for (auto& job : jobs_)
-    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  // Waiting jobs, oldest first.
+  std::vector<SimJob*> waiting = waiting_jobs_by_submit();
   if (waiting.empty()) return;
-  std::sort(waiting.begin(), waiting.end(),
-            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
 
   if (live_groups().empty() && pending_regroup_ == std::nullopt) {
     // No groups at all (startup, or everything drained between arrivals):
@@ -652,9 +755,7 @@ void ClusterSim::maybe_start_profiling() {
 
   // Steady state: profile into the group with the fewest machines (or the
   // one already profiling), up to the concurrency cap (§IV-B1).
-  std::size_t profiling_now = 0;
-  for (const auto& job : jobs_)
-    if (job->state == core::JobState::kProfiling) ++profiling_now;
+  std::size_t profiling_now = profiling_count_;
 
   auto groups = live_groups();
   if (groups.empty()) return;
@@ -672,7 +773,7 @@ void ClusterSim::maybe_start_profiling() {
       if (target == nullptr || g->machines < target->machines) target = g;
     }
     if (target == nullptr) break;
-    job->state = core::JobState::kProfiling;
+    set_state(*job, core::JobState::kProfiling);
     place_job_in_group(*job, *target, /*with_migration_delay=*/true);
     ++profiling_now;
   }
@@ -682,12 +783,8 @@ void ClusterSim::bootstrap_profiling() {
   // Initial naive placement for profiling (§III: a submitted job "gets
   // naively assigned to a group ... to be profiled"). Jobs are chunked and
   // each chunk gets an even share of the cluster.
-  std::vector<SimJob*> waiting;
-  for (auto& job : jobs_)
-    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  std::vector<SimJob*> waiting = waiting_jobs_by_submit();
   if (waiting.empty()) return;
-  std::sort(waiting.begin(), waiting.end(),
-            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
 
   const std::size_t chunk_size = 8;
   const std::size_t chunks =
@@ -704,7 +801,7 @@ void ClusterSim::bootstrap_profiling() {
     GroupRun& g = create_group({}, m);
     for (std::size_t k = 0; k < take; ++k) {
       SimJob* job = waiting[cursor++];
-      job->state = core::JobState::kProfiling;
+      set_state(*job, core::JobState::kProfiling);
       place_job_in_group(*job, g, /*with_migration_delay=*/false);
     }
   }
@@ -742,32 +839,40 @@ void ClusterSim::expand_groups_with_free_machines() {
   // machines shrink COMP (Eq. 2), shortening the remaining groups' cycles.
   if (config_.grouping != GroupingPolicy::kHarmony) return;
   if (pending_regroup_ || free_machines_ == 0) return;
-  for (const auto& job : jobs_)
-    if (job->arrived && (job->state == core::JobState::kWaiting ||
-                         job->state == core::JobState::kPaused ||
-                         (job->state == core::JobState::kProfiled && job->group == nullptr)))
-      return;  // backlog exists: machines belong to new groups instead
+  if (!waiting_ids_.empty() || paused_count_ > 0 || profiled_ungrouped_count_ > 0)
+    return;  // backlog exists: machines belong to new groups instead
+
+  // A grant changes only the winner's marginal gain, so compute each group's
+  // gain once and refresh just the granted group per iteration. The live list
+  // cannot change inside the loop (no group is created or dissolved here).
+  const auto groups = live_groups();
+  core::GroupShape shape;
+  const auto gain_of = [&](GroupRun* g) {
+    shape.machines = g->machines;
+    shape.jobs.clear();
+    for (core::JobId id : g->members) shape.jobs.push_back(jobs_[id]->spec.profile());
+    if (shape.jobs.empty()) return 0.0;  // below the grant threshold: never picked
+    const double now_t = core::PerfModel::group_iteration_time(shape);
+    ++shape.machines;
+    const double next_t = core::PerfModel::group_iteration_time(shape);
+    return (now_t - next_t) / std::max(now_t, 1e-9);
+  };
+  std::vector<double> gains(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) gains[i] = gain_of(groups[i]);
 
   while (free_machines_ > 0) {
-    GroupRun* best = nullptr;
+    std::size_t best = groups.size();
     double best_gain = 1e-6;
-    for (GroupRun* g : live_groups()) {
-      core::GroupShape shape;
-      shape.machines = g->machines;
-      for (core::JobId id : g->members) shape.jobs.push_back(jobs_[id]->spec.profile());
-      if (shape.jobs.empty()) continue;
-      const double now_t = core::PerfModel::group_iteration_time(shape);
-      ++shape.machines;
-      const double next_t = core::PerfModel::group_iteration_time(shape);
-      const double gain = (now_t - next_t) / std::max(now_t, 1e-9);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = g;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (gains[i] > best_gain) {
+        best_gain = gains[i];
+        best = i;
       }
     }
-    if (best == nullptr) break;
+    if (best == groups.size()) break;
     --free_machines_;
-    ++best->machines;
+    ++groups[best]->machines;
+    gains[best] = gain_of(groups[best]);
   }
 }
 
@@ -854,10 +959,11 @@ void ClusterSim::try_apply_pending() {
   if (done) pending_regroup_.reset();
   applying_pending_ = false;
   if (done) {
-    // Jobs left over from the drained groups wait as paused.
+    // Jobs left over from the drained groups wait as paused. (Rare: only on
+    // regroup completion, so the defensive full scan is fine here.)
     for (auto& job : jobs_)
       if (job->group == nullptr && job->state == core::JobState::kRunning)
-        job->state = core::JobState::kPaused;
+        set_state(*job, core::JobState::kPaused);
     maybe_start_profiling();
   }
   // Whatever machines the pending plans do not need can serve the idle pool
@@ -866,16 +972,12 @@ void ClusterSim::try_apply_pending() {
 }
 
 void ClusterSim::on_job_profiled(SimJob& job) {
-  job.state = core::JobState::kProfiled;
+  set_state(job, core::JobState::kProfiled);
   if (!initial_schedule_done_) {
     // Wait until the whole initial batch has profiles, then run Algorithm 1
-    // over everything.
-    bool all_profiled = true;
-    for (const auto& j : jobs_) {
-      if (!j->arrived) continue;
-      if (j->state == core::JobState::kWaiting || j->state == core::JobState::kProfiling)
-        all_profiled = false;
-    }
+    // over everything. (Arrived jobs in kWaiting are exactly the waiting
+    // index; kProfiling implies arrived.)
+    const bool all_profiled = waiting_ids_.empty() && profiling_count_ == 0;
     if (all_profiled) run_initial_harmony_schedule();
     return;  // keeps iterating in its bootstrap group meanwhile
   }
@@ -903,7 +1005,7 @@ void ClusterSim::on_job_profiled(SimJob& job) {
     if (action.group_index < view_groups.size()) {
       GroupRun* target = view_groups[action.group_index];
       if (job.group == target) {
-        job.state = core::JobState::kRunning;
+        set_state(job, core::JobState::kRunning);
         settle_group_prediction(*target);
         record_group_prediction(*target);
         return;
@@ -993,26 +1095,17 @@ void ClusterSim::on_job_finished(SimJob& job) {
   switch (config_.grouping) {
     case GroupingPolicy::kIsolated: {
       // The finished job's dedicated group dissolves; queued jobs take over.
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        GroupRun& g = *groups_[gi];  // indexed: dissolve may grow groups_
-        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
-      }
+      dissolve_emptied_groups(/*skip_stopping=*/false);
       try_schedule_isolated();
       return;
     }
     case GroupingPolicy::kRandom: {
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        GroupRun& g = *groups_[gi];
-        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
-      }
+      dissolve_emptied_groups(/*skip_stopping=*/false);
       try_schedule_naive();
       return;
     }
     case GroupingPolicy::kOneGroup: {
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        GroupRun& g = *groups_[gi];
-        if (!g.dissolved && g.members.empty() && g.active_members == 0) dissolve_group(g);
-      }
+      dissolve_emptied_groups(/*skip_stopping=*/false);
       return;
     }
     case GroupingPolicy::kHarmony:
@@ -1020,11 +1113,7 @@ void ClusterSim::on_job_finished(SimJob& job) {
   }
 
   // Clean up emptied groups first.
-  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-    GroupRun& g = *groups_[gi];
-    if (!g.dissolved && !g.stopping && g.members.empty() && g.active_members == 0)
-      dissolve_group(g);
-  }
+  dissolve_emptied_groups(/*skip_stopping=*/true);
 
   if (pending_regroup_) {
     // A regroup is already in flight; just keep spare machines busy.
@@ -1104,10 +1193,10 @@ void ClusterSim::on_job_finished(SimJob& job) {
 void ClusterSim::try_schedule_isolated() {
   for (;;) {
     SimJob* next = nullptr;
-    for (auto& job : jobs_)
-      if (job->arrived && job->state == core::JobState::kWaiting &&
-          (next == nullptr || job->submit_time < next->submit_time))
-        next = job.get();
+    for (core::JobId id : waiting_ids_) {
+      SimJob* job = jobs_[id].get();
+      if (next == nullptr || job->submit_time < next->submit_time) next = job;
+    }
     if (next == nullptr) return;
 
     std::size_t m = isolated_.pick_dop(next->spec.profile());
@@ -1125,12 +1214,8 @@ void ClusterSim::try_schedule_isolated() {
 void ClusterSim::try_schedule_naive() {
   // Naive co-location: FIFO queue (in seeded shuffled order) chopped into
   // fixed-size groups; each group gets just enough machines to fit in memory.
-  std::vector<SimJob*> waiting;
-  for (auto& job : jobs_)
-    if (job->arrived && job->state == core::JobState::kWaiting) waiting.push_back(job.get());
+  std::vector<SimJob*> waiting = waiting_jobs_by_submit();
   if (waiting.empty()) return;
-  std::sort(waiting.begin(), waiting.end(),
-            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
   if (config_.naive_grouping_seed != 0) {
     Rng shuffle_rng(config_.naive_grouping_seed);
     shuffle_rng.shuffle(waiting);
@@ -1223,7 +1308,7 @@ void ClusterSim::sample_utilization() {
   double net_weighted = 0.0;
   std::size_t running_jobs = 0;
   std::size_t running_groups = 0;
-  for (auto& g : groups_) {
+  for (GroupRun* g : active_groups()) {
     if (g->dissolved) continue;
     const double cpu_now = g->cpu_busy();
     const double net_now = g->net_busy();
@@ -1266,10 +1351,7 @@ void ClusterSim::sample_utilization() {
   }
 
   // Keep sampling while anything is active or still to come.
-  bool more = false;
-  for (const auto& job : jobs_)
-    if (job->state != core::JobState::kFinished) more = true;
-  if (more) sim_.schedule_in(window, [this] { sample_utilization(); });
+  if (unfinished_count_ > 0) sim_.schedule_in(window, [this] { sample_utilization(); });
 }
 
 // ---------------------------------------------------------------------------

@@ -185,6 +185,23 @@ class ClusterSim {
   std::vector<core::SchedJob> idle_sched_jobs() const;
   std::vector<core::RunningGroup> running_groups_view() const;
 
+  // Central state-transition point: assigns job.state and refreshes the
+  // job-state indexes (waiting/idle lists, per-state counters) that replace
+  // whole-pool scans on the event path.
+  void set_state(SimJob& job, core::JobState state);
+  // Re-derives the job's index memberships after a state/group/arrival
+  // mutation; idempotent.
+  void reindex_job(SimJob& job);
+  // Waiting jobs ordered by submit time (the order every scheduling pass
+  // uses); built from the maintained waiting index instead of a pool scan.
+  std::vector<SimJob*> waiting_jobs_by_submit();
+  // Non-dissolved groups in creation order; compacts lazily so event-path
+  // iteration costs O(live groups), not O(groups ever created).
+  std::vector<GroupRun*>& active_groups();
+  // Dissolves every empty, drained group (optionally leaving stopping groups
+  // to their own drain logic).
+  void dissolve_emptied_groups(bool skip_stopping);
+
   GroupRun& create_group(const std::vector<core::JobId>& jobs, std::size_t machines);
   void dissolve_group(GroupRun& group);
   void place_job_in_group(SimJob& job, GroupRun& group, bool with_migration_delay);
@@ -226,6 +243,22 @@ class ClusterSim {
   std::vector<std::unique_ptr<GroupRun>> groups_;
   std::size_t next_group_id_ = 0;
   std::size_t free_machines_ = 0;
+
+  // Job-state indexes, maintained by reindex_job(). The id-sorted lists
+  // reproduce the iteration order of a jobs_ scan (ids are pool indices), so
+  // downstream sorts see the identical input sequence.
+  std::vector<core::JobId> waiting_ids_;  // arrived && kWaiting
+  std::vector<core::JobId> idle_ids_;     // kProfiled || kPaused
+  std::size_t profiling_count_ = 0;
+  std::size_t paused_count_ = 0;
+  std::size_t profiled_ungrouped_count_ = 0;
+  std::size_t unfinished_count_ = 0;
+  // Non-dissolved groups in creation order (dissolved entries are dropped on
+  // the next active_groups() call). Compaction is deferred while any caller
+  // iterates the storage by index, so dissolve chains cannot shift entries
+  // under the iteration.
+  std::vector<GroupRun*> active_groups_storage_;
+  std::size_t group_iter_depth_ = 0;
 
   UtilizationTimeline timeline_;
   PredictionErrors prediction_errors_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "common/stats.h"
 
@@ -121,6 +122,18 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
   pool.insert(pool.end(), idle.begin(), idle.end());
   std::size_t machines = groups[group_index].machines + spare_machines;
 
+  // Id -> pool index, grown alongside `pool`, so mapping a decision's job ids
+  // back to profiles is O(1) per id instead of a linear pool scan. First
+  // insertion wins, matching a forward find_if when ids repeat.
+  std::unordered_map<JobId, std::size_t> pool_index;
+  pool_index.reserve(pool.size() + groups.size() * 4);
+  std::size_t indexed = 0;
+  const auto index_new_pool_jobs = [&] {
+    for (; indexed < pool.size(); ++indexed)
+      pool_index.emplace(pool[indexed].id, indexed);
+  };
+  index_new_pool_jobs();
+
   for (std::size_t step = 0; step <= partners.size(); ++step) {
     ScheduleDecision decision = scheduler_.schedule(pool, machines);
     if (!decision.empty()) {
@@ -135,9 +148,8 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
         GroupShape s;
         s.machines = plan.machines;
         for (JobId id : plan.jobs) {
-          auto it = std::find_if(pool.begin(), pool.end(),
-                                 [id](const SchedJob& j) { return j.id == id; });
-          if (it != pool.end()) s.jobs.push_back(it->profile);
+          auto it = pool_index.find(id);
+          if (it != pool_index.end()) s.jobs.push_back(pool[it->second].profile);
         }
         candidate_shapes.push_back(std::move(s));
       }
@@ -162,6 +174,7 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
     const std::size_t next = partners[step];
     involved.push_back(next);
     pool.insert(pool.end(), groups[next].jobs.begin(), groups[next].jobs.end());
+    index_new_pool_jobs();
     machines += groups[next].machines;
   }
 

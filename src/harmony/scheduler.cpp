@@ -1,23 +1,461 @@
 #include "harmony/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
 namespace harmony::core {
 namespace {
 
-// Per-group resource imbalance: positive = CPU-heavy, negative = network-heavy.
-double imbalance(const std::vector<SchedJob>& group, std::size_t machines) {
+// Reusable buffers for the hot evaluate path. schedule() runs once per
+// scheduling decision but evaluates O(prefix-growth) candidates, each needing
+// the same handful of small arrays; reusing capacity across candidates (and
+// across calls) keeps the steady-state evaluate loop allocation-free.
+// Thread-local because Scheduler is const/shareable; none of these routines
+// recurse, so a single workspace per thread suffices.
+struct Scratch {
+  // pick_num_groups analytic sweep.
+  std::vector<std::uint32_t> png_order;
+  std::vector<double> png_threshold;
+  std::vector<double> png_prefix_cpu;
+  std::vector<double> png_prefix_net;
+  std::vector<double> png_approx;
+  // Flat group assignment: members holds job indices grouped into segments
+  // [offsets[g], offsets[g+1]). Segment sizes are fixed at fill time; the
+  // fine-tuning swaps exchange members one-for-one.
+  std::vector<double> t_cpu;
+  std::vector<double> t_itr;
+  std::vector<double> d;
+  std::vector<std::uint32_t> sorted;
+  std::vector<std::uint32_t> members;
+  std::vector<std::size_t> offsets;
+  std::vector<double> imb;
+  // Machine allocation.
+  std::vector<std::size_t> alloc;
+  std::vector<std::size_t> targets;
+  std::vector<double> next_abs;
+  std::vector<double> gain;
+  // Model input, rebuilt per candidate; inner vectors keep their capacity.
+  std::vector<GroupShape> shapes;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+// Per-group resource imbalance (positive = CPU-heavy, negative = net-heavy)
+// of the member segment [begin, end) of s.members, with T_cpu at `machines`.
+// Accumulates cpu and net separately, in member order — the golden tests pin
+// these exact floating-point values, so every variant below must accumulate
+// the same terms in the same order.
+double segment_imbalance(std::span<const SchedJob> jobs, const Scratch& s, std::size_t begin,
+                         std::size_t end, std::size_t machines) {
   double cpu = 0.0;
   double net = 0.0;
-  for (const SchedJob& j : group) {
-    cpu += j.profile.t_cpu(machines);
-    net += j.profile.t_net;
+  for (std::size_t i = begin; i < end; ++i) {
+    const JobProfile& p = jobs[s.members[i]].profile;
+    cpu += p.t_cpu(machines);
+    net += p.t_net;
   }
   return cpu - net;
+}
+
+// Variant over precomputed T_cpu values (fixed DoP), for the assignment step.
+double segment_imbalance_at_dop(std::span<const SchedJob> jobs, const Scratch& s,
+                                std::size_t begin, std::size_t end) {
+  double cpu = 0.0;
+  double net = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    cpu += s.t_cpu[s.members[i]];
+    net += jobs[s.members[i]].profile.t_net;
+  }
+  return cpu - net;
+}
+
+// Step 1 (Eq. 2 search): the n_G* minimizing Σ_j |T_cpu_j(M/n_G) − T_net_j|.
+// Ties resolve to the smallest n_G (ascending scan, strict '<').
+std::size_t pick_core(const Scheduler::Params& params, std::span<const SchedJob> jobs,
+                      std::size_t machines, Scratch& s) {
+  if (jobs.empty() || machines == 0) return 1;
+  const std::size_t n = jobs.size();
+  const std::size_t max_groups = std::min(n, machines);
+  const std::size_t min_groups =
+      std::min(max_groups, (n + params.max_jobs_per_group - 1) / params.max_jobs_per_group);
+  const std::size_t range = max_groups - min_groups + 1;
+
+  // Exact cost of one candidate, exactly as Algorithm 1 states it.
+  const auto exact_cost = [&](std::size_t ng) {
+    const double dop = static_cast<double>(machines) / static_cast<double>(ng);
+    double cost = 0.0;
+    for (const SchedJob& j : jobs) cost += std::abs(j.profile.cpu_work / dop - j.profile.t_net);
+    return cost;
+  };
+
+  // Small search spaces (the common case inside schedule(), whose candidate
+  // prefixes hold a handful of jobs) are cheapest evaluated directly.
+  if (n * range <= 4096) {
+    std::size_t best_ng = min_groups;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
+      const double cost = exact_cost(ng);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_ng = ng;
+      }
+    }
+    return best_ng;
+  }
+
+  // Large search spaces: cost(ng) = Σ_j |cpu_j·ng/M − net_j| is piecewise
+  // linear in ng; job j flips from the net-dominant to the cpu-dominant side
+  // at ng_j = net_j·M/cpu_j. Sorting jobs by that threshold and keeping
+  // prefix sums of cpu/net makes an analytic cost O(1) per candidate. The
+  // analytic value differs from the exact one only by summation rounding, so
+  // the exact O(n) evaluation is paid only for candidates within a tolerance
+  // of the analytic minimum — the exact argmin is always among them.
+  const double m_dbl = static_cast<double>(machines);
+  auto& order = s.png_order;
+  auto& threshold = s.png_threshold;
+  order.resize(n);
+  threshold.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const JobProfile& p = jobs[i].profile;
+    threshold[i] = p.cpu_work > 0.0 ? p.t_net * m_dbl / p.cpu_work
+                                    : std::numeric_limits<double>::infinity();
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return threshold[a] < threshold[b]; });
+  auto& prefix_cpu = s.png_prefix_cpu;
+  auto& prefix_net = s.png_prefix_net;
+  prefix_cpu.assign(n + 1, 0.0);
+  prefix_net.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix_cpu[i + 1] = prefix_cpu[i] + jobs[order[i]].profile.cpu_work;
+    prefix_net[i + 1] = prefix_net[i] + jobs[order[i]].profile.t_net;
+  }
+  const double total_cpu = prefix_cpu[n];
+  const double total_net = prefix_net[n];
+
+  double best_approx = std::numeric_limits<double>::infinity();
+  std::size_t side = 0;  // jobs with threshold < ng (cpu-dominant side)
+  auto& approx = s.png_approx;
+  approx.resize(range);
+  for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
+    const double ng_dbl = static_cast<double>(ng);
+    while (side < n && threshold[order[side]] < ng_dbl) ++side;
+    const double cpu_side_cpu = prefix_cpu[side];
+    const double cpu_side_net = prefix_net[side];
+    const double cost = (ng_dbl / m_dbl) * (cpu_side_cpu - (total_cpu - cpu_side_cpu)) +
+                        ((total_net - cpu_side_net) - cpu_side_net);
+    approx[ng - min_groups] = cost;
+    best_approx = std::min(best_approx, cost);
+  }
+
+  // The tolerance sits far above summation rounding error (~n·ε·scale) but
+  // far below meaningful cost differences.
+  const double scale = std::max({std::abs(best_approx), total_cpu, total_net, 1e-300});
+  const double tol = 1e-9 * scale;
+  std::size_t refined = 0;
+  for (std::size_t i = 0; i < range; ++i)
+    if (approx[i] <= best_approx + tol) ++refined;
+
+  std::size_t best_ng = min_groups;
+  double best_cost = std::numeric_limits<double>::infinity();
+  if (refined > 64) {
+    // Degenerate plateau (e.g. thousands of identical jobs): fall back to the
+    // exhaustive exact scan rather than exact-evaluating a huge refined set.
+    for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
+      const double cost = exact_cost(ng);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_ng = ng;
+      }
+    }
+  } else {
+    // Ascending candidate order + strict '<' ties resolve to the smallest
+    // ng, exactly like the exhaustive scan.
+    for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
+      if (approx[ng - min_groups] > best_approx + tol) continue;
+      const double cost = exact_cost(ng);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_ng = ng;
+      }
+    }
+  }
+  return best_ng;
+}
+
+// Step 2: fill s.members/s.offsets with `num_groups` segments and fine-tune
+// by swapping between the most imbalanced and most complementary groups.
+void assign_core(const Scheduler::Params& params, std::span<const SchedJob> jobs,
+                 std::size_t num_groups, std::size_t dop_hint, Scratch& s) {
+  if (num_groups == 0) throw std::invalid_argument("assign_jobs: zero groups");
+  const std::size_t dop = std::max<std::size_t>(1, dop_hint);
+  const std::size_t n = jobs.size();
+
+  // Per-job terms every step below re-derives: T_cpu at the shared DoP, the
+  // iteration time, and the job's own imbalance d_j.
+  s.t_cpu.resize(n);
+  s.t_itr.resize(n);
+  s.d.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.t_cpu[i] = jobs[i].profile.t_cpu(dop);
+    s.t_itr[i] = jobs[i].profile.t_itr(dop);
+    s.d[i] = s.t_cpu[i] - jobs[i].profile.t_net;
+  }
+
+  // Sort indices by iteration time (at the shared DoP), descending, so jobs
+  // of similar size are adjacent — spreading large jobs around would make
+  // every group job-bound (§IV-B3). Ties resolve to input order, which keeps
+  // the result deterministic and independent of the sort implementation.
+  s.sorted.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.sorted[i] = i;
+  std::sort(s.sorted.begin(), s.sorted.end(), [&s](std::uint32_t a, std::uint32_t b) {
+    if (s.t_itr[a] != s.t_itr[b]) return s.t_itr[a] > s.t_itr[b];
+    return a < b;
+  });
+
+  // Fill groups with contiguous runs of the sorted list: similar iteration
+  // times stay together.
+  s.members.assign(s.sorted.begin(), s.sorted.end());
+  s.offsets.resize(num_groups + 1);
+  const std::size_t base = n / num_groups;
+  const std::size_t extra = n % num_groups;
+  s.offsets[0] = 0;
+  for (std::size_t g = 0; g < num_groups; ++g)
+    s.offsets[g + 1] = s.offsets[g] + base + (g < extra ? 1 : 0);
+
+  // Fine-tuning: repeatedly pick the most imbalanced group, find the group
+  // with the most complementary resource use, and swap the job pair that
+  // minimizes the two groups' combined imbalance. Group imbalances are cached
+  // between rounds — only the two groups touched by a swap are recomputed —
+  // so a round costs O(g + |worst|·|partner|) instead of O(g·n).
+  s.imb.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g)
+    s.imb[g] = segment_imbalance_at_dop(jobs, s, s.offsets[g], s.offsets[g + 1]);
+
+  for (std::size_t round = 0; round < params.max_swap_rounds; ++round) {
+    // Most imbalanced group.
+    std::size_t worst = 0;
+    double worst_abs = -1.0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const double a = std::abs(s.imb[g]);
+      if (a > worst_abs) {
+        worst_abs = a;
+        worst = g;
+      }
+    }
+    const double worst_imb = s.imb[worst];
+
+    // Most complementary partner: imbalance of opposite sign, largest product.
+    std::size_t partner = num_groups;
+    double best_comp = 0.0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (g == worst) continue;
+      const double comp = -worst_imb * s.imb[g];
+      if (comp > best_comp) {
+        best_comp = comp;
+        partner = g;
+      }
+    }
+    if (partner == num_groups) break;  // nothing complementary: done
+
+    // Best swap between the two groups, evaluated via per-job deltas.
+    const double partner_imb = s.imb[partner];
+    const std::size_t wb = s.offsets[worst], we = s.offsets[worst + 1];
+    const std::size_t pb = s.offsets[partner], pe = s.offsets[partner + 1];
+    const double current = std::abs(worst_imb) + std::abs(partner_imb);
+    double best_after = current;
+    std::size_t best_a = we, best_b = pe;
+    for (std::size_t a = wb; a < we; ++a) {
+      const double da = s.d[s.members[a]];
+      for (std::size_t b = pb; b < pe; ++b) {
+        const double db = s.d[s.members[b]];
+        const double after = std::abs(worst_imb - da + db) + std::abs(partner_imb - db + da);
+        if (after + 1e-12 < best_after) {
+          best_after = after;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == we) break;  // no improving swap: converged
+    std::swap(s.members[best_a], s.members[best_b]);
+    // Refresh the two touched groups from scratch (not by delta): the cached
+    // values stay bit-identical to a full recomputation.
+    s.imb[worst] = segment_imbalance_at_dop(jobs, s, wb, we);
+    s.imb[partner] = segment_imbalance_at_dop(jobs, s, pb, pe);
+  }
+}
+
+// Step 3 over the first `g_count` segments: fills s.alloc (>= 1 each).
+// Greedily hands the next machine to the group that "needs additional
+// machines the most": the most CPU-bound one, where an extra machine shrinks
+// Σ T_cpu (Eq. 2) and thus the group iteration time. Allocation stops at the
+// computation/communication balance point — a machine that would tip a group
+// further network-bound is worth more left idle for a future group than
+// burned on inflating DoP.
+//
+// A group's gain only changes when it is granted a machine, so gains are
+// cached and each grant costs O(log g + |group|) via a max-heap instead of a
+// rescan of every group's members. Heap order (gain desc, then smaller group
+// index) picks the same winner as a forward scan with strict '>'.
+void allocate_core(std::span<const SchedJob> jobs, std::size_t g_count, std::size_t machines,
+                   Scratch& s) {
+  s.alloc.assign(g_count, 1);
+  if (g_count == 0) return;
+  std::size_t remaining = machines - g_count;
+  if (remaining == 0) return;
+
+  const auto imb_at = [&](std::size_t g, std::size_t a) {
+    return segment_imbalance(jobs, s, s.offsets[g], s.offsets[g + 1], a);
+  };
+
+  // Fast path: when the greedy never exhausts the machines — the common case
+  // on a large cluster — its interleaving is irrelevant: every group simply
+  // grows until its own first non-positive gain, independently of the others.
+  // That stopping point is the balance crossing, found by binary search:
+  // imbalance is non-increasing in the allocation even under FP rounding
+  // (each T_cpu term shrinks exactly, and fl-addition is monotone). Gains
+  // before the crossing are positive (they only vanish at ULP scale, far
+  // beyond realistic profile magnitudes); the two gains at the crossing are
+  // evaluated exactly. Each group costs O(|group|·log M) instead of
+  // O(|group|·grants).
+  const auto solo_target = [&](std::size_t g) -> std::size_t {
+    // Smallest a in [1, machines] where one more machine tips the group
+    // network-bound (imb(a+1) <= 0); machines+1 if no crossing in range.
+    if (!(imb_at(g, machines + 1) <= 0.0)) return machines + 1;
+    std::size_t lo = 1, hi = machines;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (imb_at(g, mid + 1) <= 0.0)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    const double gain = std::abs(imb_at(g, lo)) - std::abs(imb_at(g, lo + 1));
+    return gain > 0.0 ? lo + 1 : lo;
+  };
+  s.targets.resize(g_count);
+  std::size_t total_grants = 0;
+  for (std::size_t g = 0; g < g_count; ++g) {
+    s.targets[g] = solo_target(g);
+    total_grants += s.targets[g] - 1;
+  }
+  if (total_grants <= remaining) {
+    for (std::size_t g = 0; g < g_count; ++g) s.alloc[g] = s.targets[g];
+    return;
+  }
+
+  // Machine-constrained: replay the grant-by-grant greedy so contention ties
+  // resolve exactly as before.
+  s.next_abs.resize(g_count);
+  s.gain.resize(g_count);
+  struct Entry {
+    double gain;
+    std::size_t group;
+    bool operator<(const Entry& o) const noexcept {
+      if (gain != o.gain) return gain < o.gain;
+      return group > o.group;
+    }
+  };
+  // Heap over a reused array (std::priority_queue would allocate per call).
+  thread_local std::vector<Entry> heap;
+  heap.clear();
+  for (std::size_t g = 0; g < g_count; ++g) {
+    const double now_abs =
+        std::abs(segment_imbalance(jobs, s, s.offsets[g], s.offsets[g + 1], s.alloc[g]));
+    s.next_abs[g] =
+        std::abs(segment_imbalance(jobs, s, s.offsets[g], s.offsets[g + 1], s.alloc[g] + 1));
+    s.gain[g] = now_abs - s.next_abs[g];
+    heap.push_back(Entry{s.gain[g], g});
+  }
+  std::make_heap(heap.begin(), heap.end());
+
+  while (remaining > 0 && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const Entry top = heap.back();
+    heap.pop_back();
+    if (top.gain != s.gain[top.group]) continue;  // stale: a fresher entry exists
+    if (!(top.gain > 0.0)) break;                 // every group at (or past) balance
+    const std::size_t g = top.group;
+    ++s.alloc[g];
+    --remaining;
+    const double now_abs = s.next_abs[g];  // |imbalance| at the new allocation
+    s.next_abs[g] =
+        std::abs(segment_imbalance(jobs, s, s.offsets[g], s.offsets[g + 1], s.alloc[g] + 1));
+    s.gain[g] = now_abs - s.next_abs[g];
+    heap.push_back(Entry{s.gain[g], g});
+    std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+struct CoreResult {
+  double score = 0.0;
+  Utilization util;
+  std::size_t g_count = 0;  // non-empty groups; segments/alloc live in Scratch
+};
+
+// One Algorithm-1 evaluation of a candidate job set. Leaves the chosen
+// grouping in the Scratch (members/offsets/alloc) so the caller can
+// materialize a ScheduleDecision only for candidates that actually win.
+CoreResult evaluate_core(const Scheduler::Params& params, const PerfModel& model,
+                         std::span<const SchedJob> jobs, std::size_t machines, Scratch& s) {
+  const std::size_t ng = pick_core(params, jobs, machines, s);
+  const std::size_t dop_hint = std::max<std::size_t>(1, machines / ng);
+  assign_core(params, jobs, ng, dop_hint, s);
+  // Drop empty groups (possible when jobs < groups after the n_G search).
+  // Segment sizes are non-increasing, so the empty ones are exactly the
+  // trailing segments: pruning keeps the first min(ng, n). The fine-tuning
+  // above never moves a job into an empty group (an empty group is never the
+  // most imbalanced when any non-empty one is, and its complementarity is 0).
+  const std::size_t g_count = std::min(ng, jobs.size());
+  allocate_core(jobs, g_count, machines, s);
+
+  // Materialize GroupShapes for the model; reused inner vectors keep their
+  // capacity across candidates.
+  if (s.shapes.size() > g_count) s.shapes.resize(g_count);
+  while (s.shapes.size() < g_count) s.shapes.emplace_back();
+  for (std::size_t g = 0; g < g_count; ++g) {
+    GroupShape& shape = s.shapes[g];
+    shape.machines = s.alloc[g];
+    shape.jobs.clear();
+    for (std::size_t i = s.offsets[g]; i < s.offsets[g + 1]; ++i)
+      shape.jobs.push_back(jobs[s.members[i]].profile);
+  }
+
+  CoreResult r;
+  r.g_count = g_count;
+  r.util = PerfModel::cluster_utilization(s.shapes);
+  r.score = model.score(s.shapes);
+  // Packing more jobs than machines into a group makes utilization look
+  // great while starving every job's progress; reject such shapes outright.
+  for (std::size_t g = 0; g < g_count; ++g)
+    if (s.offsets[g + 1] - s.offsets[g] > s.alloc[g]) r.score -= 1.0;
+  return r;
+}
+
+ScheduleDecision materialize(std::span<const SchedJob> jobs, const CoreResult& r,
+                             const Scratch& s) {
+  ScheduleDecision decision;
+  decision.predicted_util = r.util;
+  decision.score = r.score;
+  decision.jobs_scheduled = jobs.size();
+  decision.groups.reserve(r.g_count);
+  for (std::size_t g = 0; g < r.g_count; ++g) {
+    GroupPlan plan;
+    plan.machines = s.alloc[g];
+    plan.jobs.reserve(s.offsets[g + 1] - s.offsets[g]);
+    for (std::size_t i = s.offsets[g]; i < s.offsets[g + 1]; ++i)
+      plan.jobs.push_back(jobs[s.members[i]].id);
+    decision.groups.push_back(std::move(plan));
+  }
+  return decision;
 }
 
 }  // namespace
@@ -26,105 +464,21 @@ Scheduler::Scheduler(Params params) : params_(params), model_(params.model) {}
 
 std::size_t Scheduler::pick_num_groups(std::span<const SchedJob> jobs,
                                        std::size_t machines) const {
-  if (jobs.empty() || machines == 0) return 1;
-  const std::size_t max_groups = std::min(jobs.size(), machines);
-  const std::size_t min_groups = std::min(
-      max_groups,
-      (jobs.size() + params_.max_jobs_per_group - 1) / params_.max_jobs_per_group);
-  std::size_t best_ng = min_groups;
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (std::size_t ng = min_groups; ng <= max_groups; ++ng) {
-    // All groups share DoP = machines / ng (Algorithm 1 assumes equal DoP
-    // while searching; allocate_machines refines it afterwards).
-    const double dop = static_cast<double>(machines) / static_cast<double>(ng);
-    double cost = 0.0;
-    for (const SchedJob& j : jobs)
-      cost += std::abs(j.profile.cpu_work / dop - j.profile.t_net);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_ng = ng;
-    }
-  }
-  return best_ng;
+  return pick_core(params_, jobs, machines, scratch());
 }
 
 std::vector<std::vector<SchedJob>> Scheduler::assign_jobs(std::span<const SchedJob> jobs,
                                                           std::size_t num_groups,
                                                           std::size_t dop_hint) const {
-  if (num_groups == 0) throw std::invalid_argument("assign_jobs: zero groups");
-  const std::size_t dop = std::max<std::size_t>(1, dop_hint);
-
-  // Sort by iteration time (at the shared DoP), descending, so jobs of
-  // similar size are adjacent — spreading large jobs around would make every
-  // group job-bound (§IV-B3).
-  std::vector<SchedJob> sorted(jobs.begin(), jobs.end());
-  std::sort(sorted.begin(), sorted.end(), [dop](const SchedJob& a, const SchedJob& b) {
-    return a.profile.t_itr(dop) > b.profile.t_itr(dop);
-  });
-
-  // Fill groups one by one with contiguous runs of the sorted list: similar
-  // iteration times stay together.
-  std::vector<std::vector<SchedJob>> groups(num_groups);
-  const std::size_t base = sorted.size() / num_groups;
-  const std::size_t extra = sorted.size() % num_groups;
-  std::size_t cursor = 0;
+  Scratch& s = scratch();
+  assign_core(params_, jobs, num_groups, dop_hint, s);
+  std::vector<std::vector<SchedJob>> out(num_groups);
   for (std::size_t g = 0; g < num_groups; ++g) {
-    const std::size_t take = base + (g < extra ? 1 : 0);
-    for (std::size_t k = 0; k < take; ++k) groups[g].push_back(sorted[cursor++]);
+    out[g].reserve(s.offsets[g + 1] - s.offsets[g]);
+    for (std::size_t i = s.offsets[g]; i < s.offsets[g + 1]; ++i)
+      out[g].push_back(jobs[s.members[i]]);
   }
-
-  // Fine-tuning: repeatedly pick the most imbalanced group, find the group
-  // with the most complementary resource use, and swap the job pair that
-  // minimizes the two groups' combined imbalance.
-  for (std::size_t round = 0; round < params_.max_swap_rounds; ++round) {
-    // Most imbalanced group.
-    std::size_t worst = 0;
-    double worst_abs = -1.0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const double imb = std::abs(imbalance(groups[g], dop));
-      if (imb > worst_abs) {
-        worst_abs = imb;
-        worst = g;
-      }
-    }
-    const double worst_imb = imbalance(groups[worst], dop);
-
-    // Most complementary partner: imbalance of opposite sign, largest product.
-    std::size_t partner = groups.size();
-    double best_comp = 0.0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (g == worst) continue;
-      const double comp = -worst_imb * imbalance(groups[g], dop);
-      if (comp > best_comp) {
-        best_comp = comp;
-        partner = g;
-      }
-    }
-    if (partner == groups.size()) break;  // nothing complementary: done
-
-    // Best swap between the two groups.
-    double current = std::abs(worst_imb) + std::abs(imbalance(groups[partner], dop));
-    double best_after = current;
-    std::size_t best_a = groups[worst].size();
-    std::size_t best_b = groups[partner].size();
-    for (std::size_t a = 0; a < groups[worst].size(); ++a) {
-      for (std::size_t b = 0; b < groups[partner].size(); ++b) {
-        const double da = groups[worst][a].profile.t_cpu(dop) - groups[worst][a].profile.t_net;
-        const double db =
-            groups[partner][b].profile.t_cpu(dop) - groups[partner][b].profile.t_net;
-        const double after = std::abs(worst_imb - da + db) +
-                             std::abs(imbalance(groups[partner], dop) - db + da);
-        if (after + 1e-12 < best_after) {
-          best_after = after;
-          best_a = a;
-          best_b = b;
-        }
-      }
-    }
-    if (best_a == groups[worst].size()) break;  // no improving swap: converged
-    std::swap(groups[worst][best_a], groups[partner][best_b]);
-  }
-  return groups;
+  return out;
 }
 
 std::vector<std::size_t> Scheduler::allocate_machines(
@@ -132,94 +486,49 @@ std::vector<std::size_t> Scheduler::allocate_machines(
   if (groups.empty()) return {};
   if (machines < groups.size())
     throw std::invalid_argument("allocate_machines: fewer machines than groups");
-
-  std::vector<std::size_t> alloc(groups.size(), 1);
-  std::size_t remaining = machines - groups.size();
-
-  // Greedily hand the next machine to the group that "needs additional
-  // machines the most": the most CPU-bound one, where an extra machine
-  // shrinks Σ T_cpu (Eq. 2) and thus the group iteration time. Allocation
-  // stops at the computation/communication balance point — a machine that
-  // would tip the group further network-bound is worth more left idle for a
-  // future group than burned on inflating DoP.
-  while (remaining > 0) {
-    std::size_t best = groups.size();
-    double best_gain = 0.0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const double now_abs = std::abs(imbalance(groups[g], alloc[g]));
-      const double next_abs = std::abs(imbalance(groups[g], alloc[g] + 1));
-      const double gain = now_abs - next_abs;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = g;
-      }
-    }
-    if (best == groups.size()) break;  // every group is at (or past) balance
-    ++alloc[best];
-    --remaining;
+  // Flatten into the segment layout allocate_core works on.
+  Scratch& s = scratch();
+  std::vector<SchedJob> flat;
+  s.offsets.assign(1, 0);
+  for (const auto& group : groups) {
+    flat.insert(flat.end(), group.begin(), group.end());
+    s.offsets.push_back(flat.size());
   }
-  return alloc;
-}
-
-std::vector<GroupShape> Scheduler::shapes(const std::vector<std::vector<SchedJob>>& groups,
-                                          const std::vector<std::size_t>& machines) {
-  assert(groups.size() == machines.size());
-  std::vector<GroupShape> out;
-  out.reserve(groups.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    GroupShape shape;
-    shape.machines = machines[g];
-    shape.jobs.reserve(groups[g].size());
-    for (const SchedJob& j : groups[g]) shape.jobs.push_back(j.profile);
-    out.push_back(std::move(shape));
-  }
-  return out;
-}
-
-ScheduleDecision Scheduler::evaluate(std::span<const SchedJob> jobs,
-                                     std::size_t machines) const {
-  const std::size_t ng = pick_num_groups(jobs, machines);
-  const std::size_t dop_hint = std::max<std::size_t>(1, machines / ng);
-  auto assignment = assign_jobs(jobs, ng, dop_hint);
-  // Drop empty groups (possible when jobs < groups after the n_G search).
-  std::erase_if(assignment, [](const auto& g) { return g.empty(); });
-  auto alloc = allocate_machines(assignment, machines);
-  const auto group_shapes = shapes(assignment, alloc);
-
-  ScheduleDecision decision;
-  decision.predicted_util = PerfModel::cluster_utilization(group_shapes);
-  decision.score = model_.score(group_shapes);
-  // Packing more jobs than machines into a group makes utilization look
-  // great while starving every job's progress; reject such shapes outright.
-  for (std::size_t g = 0; g < assignment.size(); ++g)
-    if (assignment[g].size() > alloc[g]) decision.score -= 1.0;
-  decision.jobs_scheduled = jobs.size();
-  decision.groups.reserve(assignment.size());
-  for (std::size_t g = 0; g < assignment.size(); ++g) {
-    GroupPlan plan;
-    plan.machines = alloc[g];
-    for (const SchedJob& j : assignment[g]) plan.jobs.push_back(j.id);
-    decision.groups.push_back(std::move(plan));
-  }
-  return decision;
+  s.members.resize(flat.size());
+  for (std::uint32_t i = 0; i < flat.size(); ++i) s.members[i] = i;
+  allocate_core(flat, groups.size(), machines, s);
+  return {s.alloc.begin(), s.alloc.end()};
 }
 
 ScheduleDecision Scheduler::schedule(std::span<const SchedJob> jobs,
                                      std::size_t machines) const {
   if (machines == 0) throw std::invalid_argument("schedule: zero machines");
   if (jobs.empty()) return {};
-  for (const SchedJob& j : jobs)
-    if (!j.profile.valid()) throw std::invalid_argument("schedule: invalid profile");
+
+  // Profiles are validated lazily as the candidate prefix grows: the call's
+  // cost tracks the jobs actually examined, not the total queue length (a
+  // datacenter-scale queue would otherwise pay an O(n) scan per decision).
+  std::size_t validated = 0;
+  const auto validate_prefix = [&](std::size_t upto) {
+    for (; validated < upto; ++validated)
+      if (!jobs[validated].profile.valid())
+        throw std::invalid_argument("schedule: invalid profile");
+  };
 
   // Algorithm 1: grow the candidate prefix while the modelled utilization
   // improves; stop once it stops improving (with a little patience so one
-  // awkward job in the queue does not end the search).
-  ScheduleDecision best = evaluate(jobs.first(1), machines);
+  // awkward job in the queue does not end the search). Only improving
+  // candidates are materialized into a ScheduleDecision.
+  Scratch& s = scratch();
+  validate_prefix(1);
+  ScheduleDecision best = materialize(
+      jobs.first(1), evaluate_core(params_, model_, jobs.first(1), machines, s), s);
   std::size_t since_improvement = 0;
   for (std::size_t nj = 2; nj <= jobs.size(); ++nj) {
-    ScheduleDecision candidate = evaluate(jobs.first(nj), machines);
+    validate_prefix(nj);
+    const CoreResult candidate = evaluate_core(params_, model_, jobs.first(nj), machines, s);
     if (candidate.score > best.score) {
-      best = std::move(candidate);
+      best = materialize(jobs.first(nj), candidate, s);
       since_improvement = 0;
     } else if (++since_improvement >= params_.growth_patience) {
       break;

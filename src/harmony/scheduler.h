@@ -64,7 +64,10 @@ class Scheduler {
   Scheduler() : Scheduler(Params{}) {}
   explicit Scheduler(Params params);
 
-  // Algorithm 1. `jobs` must be in queue order; all profiles must be valid.
+  // Algorithm 1. `jobs` must be in queue order. Profiles are validated lazily
+  // as the candidate prefix grows, so only jobs the search actually examines
+  // must be valid — an invalid profile deep in a long queue goes unnoticed if
+  // the growth loop stops before reaching it.
   ScheduleDecision schedule(std::span<const SchedJob> jobs, std::size_t machines) const;
 
   // Step 2 of the algorithm, exposed for tests and for the regrouper: assigns
@@ -78,17 +81,14 @@ class Scheduler {
       const std::vector<std::vector<SchedJob>>& groups, std::size_t machines) const;
 
   // Step 1: the n_G* that minimizes Σ_j |T_cpu_j(M/n_G) - T_net_j|.
+  // Ties resolve to the smallest n_G (candidates are examined in ascending
+  // order with a strict '<'): fewer groups means a higher DoP per group, and
+  // at equal cost the faster iterations are preferable.
   std::size_t pick_num_groups(std::span<const SchedJob> jobs, std::size_t machines) const;
 
   const PerfModel& model() const noexcept { return model_; }
 
  private:
-  // Converts an assignment + allocation into GroupShapes for the model.
-  static std::vector<GroupShape> shapes(const std::vector<std::vector<SchedJob>>& groups,
-                                        const std::vector<std::size_t>& machines);
-
-  ScheduleDecision evaluate(std::span<const SchedJob> jobs, std::size_t machines) const;
-
   Params params_;
   PerfModel model_;
 };

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -8,30 +9,28 @@ namespace harmony::sim {
 EventId Simulator::schedule_at(double t, Callback cb) {
   if (t < now_) throw std::invalid_argument("Simulator: scheduling into the past");
   const EventId id = next_id_++;
-  queue_.push(Event{t, id});
-  callbacks_.emplace(id, std::move(cb));
-  ++live_count_;
+  heap_.push_back(Event{t, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  live_.insert(id);
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  // The heap node stays behind as a tombstone and is skipped when popped.
-  if (callbacks_.erase(id) > 0) --live_count_;
+  // Cancelling an already-fired or unknown id is a harmless no-op; the
+  // orphaned heap node is discarded when it reaches the top.
+  live_.erase(id);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // cancelled tombstone
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    --live_count_;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    if (live_.erase(ev.id) == 0) continue;  // cancelled tombstone
     assert(ev.time >= now_);
     now_ = ev.time;
     ++fired_;
-    cb();
+    ev.cb();
     return true;
   }
   return false;
@@ -43,11 +42,12 @@ void Simulator::run(std::uint64_t max_events) {
 }
 
 void Simulator::run_until(double t) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip tombstones cheaply before peeking at the time.
-    const Event ev = queue_.top();
-    if (callbacks_.find(ev.id) == callbacks_.end()) {
-      queue_.pop();
+    const Event& ev = heap_.front();
+    if (live_.find(ev.id) == live_.end()) {
+      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+      heap_.pop_back();
       continue;
     }
     if (ev.time > t) break;

@@ -9,8 +9,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace harmony::sim {
@@ -48,28 +47,36 @@ class Simulator {
   // Runs events with time <= t, then advances the clock to exactly t.
   void run_until(double t);
 
-  bool empty() const noexcept { return live_count_ == 0; }
+  bool empty() const noexcept { return live_.empty(); }
   std::uint64_t events_fired() const noexcept { return fired_; }
 
  private:
   struct Event {
     double time;
     EventId id;
+    // Firing moves the callback straight out of the heap node, so an event
+    // costs one heap sift instead of a hash lookup + map erase per event.
+    Callback cb;
+
     // Orders the min-heap: earliest time first, then insertion order.
     bool operator>(const Event& other) const noexcept {
       if (time != other.time) return time > other.time;
       return id > other.id;
     }
   };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept { return a > b; }
+  };
 
-  // Callbacks are kept out of the heap nodes so cancellation is O(1).
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  // Min-heap (std::make_heap family with EventAfter). Cancellation just drops
+  // the id from live_; the heap node stays behind as a tombstone and is
+  // skipped when popped.
+  std::vector<Event> heap_;
+  std::unordered_set<EventId> live_;
 
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::size_t live_count_ = 0;
 };
 
 }  // namespace harmony::sim

@@ -1,0 +1,167 @@
+// Shared fixtures for the golden-determinism tests (test_scheduler_golden.cpp)
+// and the checked-in generator (tools/golden_gen.cpp).
+//
+// The golden values pin the *exact* behaviour of Algorithm 1 and the cluster
+// simulator for fixed seeds: any change to scheduling decisions or simulated
+// metrics — including floating-point drift introduced by a performance
+// refactor — flips a hash or a recorded double and fails the test. Regenerate
+// deliberately with `golden-gen` only when a behaviour change is intended.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+#include "harmony/scheduler.h"
+
+namespace harmony::golden {
+
+// --- FNV-1a 64-bit over structured decision content -------------------------
+
+inline std::uint64_t fnv1a_init() { return 14695981039346656037ULL; }
+
+inline void fnv1a_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+template <typename T>
+void fnv1a_value(std::uint64_t& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  fnv1a_bytes(h, &v, sizeof(v));
+}
+
+// Hashes everything observable about a decision: the exact group assignments
+// and machine counts, plus the bit patterns of the modelled score/utilization
+// (so even sub-ulp drift in the evaluation pipeline is caught).
+inline std::uint64_t hash_decision(const core::ScheduleDecision& d) {
+  std::uint64_t h = fnv1a_init();
+  fnv1a_value(h, d.jobs_scheduled);
+  fnv1a_value(h, d.score);
+  fnv1a_value(h, d.predicted_util.cpu);
+  fnv1a_value(h, d.predicted_util.net);
+  fnv1a_value(h, d.groups.size());
+  for (const core::GroupPlan& g : d.groups) {
+    fnv1a_value(h, g.machines);
+    fnv1a_value(h, g.jobs.size());
+    for (core::JobId id : g.jobs) fnv1a_value(h, id);
+  }
+  return h;
+}
+
+// --- Scheduler pools --------------------------------------------------------
+
+// Matches bench_sched_scalability's synthetic distribution.
+inline std::vector<core::SchedJob> synthetic_pool(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::SchedJob> jobs;
+  jobs.reserve(n);
+  for (core::JobId i = 0; i < n; ++i)
+    jobs.push_back(
+        core::SchedJob{i, core::JobProfile{rng.uniform(400, 8000), rng.uniform(20, 400)}});
+  return jobs;
+}
+
+// The paper's 80-job catalog as a scheduling pool (realistic comp/comm mix;
+// the prefix growth goes much deeper here than on the synthetic pools).
+inline std::vector<core::SchedJob> catalog_pool() {
+  std::vector<core::SchedJob> jobs;
+  for (const exp::WorkloadSpec& s : exp::make_catalog(2021)) jobs.push_back(s.sched_job());
+  return jobs;
+}
+
+struct SchedCase {
+  const char* name;
+  std::vector<core::SchedJob> jobs;
+  std::size_t machines;
+};
+
+inline std::vector<SchedCase> scheduler_cases() {
+  std::vector<SchedCase> cases;
+  cases.push_back({"synthetic_80_100", synthetic_pool(80, 11), 100});
+  cases.push_back({"synthetic_500_1000", synthetic_pool(500, 12), 1000});
+  cases.push_back({"synthetic_2000_4000", synthetic_pool(2000, 13), 4000});
+  cases.push_back({"catalog_80_100", catalog_pool(), 100});
+  return cases;
+}
+
+// --- ClusterSim end-to-end cases -------------------------------------------
+
+// Poisson arrivals on purpose: distinct arrival timestamps make the golden
+// independent of how equal-submit-time ties were ordered.
+struct SimCase {
+  const char* name;
+  exp::ClusterSimConfig config;
+  std::vector<exp::WorkloadSpec> workload;
+  std::vector<double> arrivals;
+};
+
+inline std::vector<exp::WorkloadSpec> capped_catalog(std::size_t n, std::size_t max_iters) {
+  auto catalog = exp::make_catalog(2021);
+  catalog.resize(n);
+  for (auto& s : catalog) s.iterations = std::min(s.iterations, max_iters);
+  return catalog;
+}
+
+inline std::vector<SimCase> sim_cases() {
+  std::vector<SimCase> cases;
+  {
+    SimCase c;
+    c.name = "harmony_24jobs_24machines";
+    c.config = exp::ClusterSimConfig::harmony();
+    c.config.machines = 24;
+    c.config.seed = 7;
+    c.workload = capped_catalog(24, 12);
+    c.arrivals = exp::poisson_arrivals(c.workload.size(), 300.0, 3);
+    cases.push_back(std::move(c));
+  }
+  {
+    SimCase c;
+    c.name = "harmony_48jobs_40machines";
+    c.config = exp::ClusterSimConfig::harmony();
+    c.config.machines = 40;
+    c.config.seed = 21;
+    c.workload = capped_catalog(48, 10);
+    c.arrivals = exp::poisson_arrivals(c.workload.size(), 120.0, 9);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+// Everything the simulator run reports, flattened for golden comparison.
+struct SimGolden {
+  double makespan = 0.0;
+  double mean_jct = 0.0;
+  double util_cpu = 0.0;
+  double util_net = 0.0;
+  double migration_overhead_sec = 0.0;
+  std::uint64_t regroup_events = 0;
+  std::uint64_t oom_events = 0;
+  std::uint64_t jobs_completed = 0;
+  double sum_finish_times = 0.0;  // order-independent digest of every JCT
+};
+
+inline SimGolden run_sim_case(const SimCase& c) {
+  exp::ClusterSim sim(c.config, c.workload, c.arrivals);
+  const exp::RunSummary s = sim.run();
+  SimGolden g;
+  g.makespan = s.makespan;
+  g.mean_jct = s.mean_jct();
+  g.util_cpu = s.avg_util.cpu;
+  g.util_net = s.avg_util.net;
+  g.migration_overhead_sec = s.migration_overhead_sec;
+  g.regroup_events = s.regroup_events;
+  g.oom_events = s.oom_events;
+  g.jobs_completed = s.jobs.size();
+  for (const exp::JobOutcome& j : s.jobs) g.sum_finish_times += j.finish_time;
+  return g;
+}
+
+}  // namespace harmony::golden

@@ -49,6 +49,40 @@ TEST(PickNumGroups, CpuHeavyJobsPreferFewGroups) {
   EXPECT_LE(s.pick_num_groups(cpu_heavy, 16), s.pick_num_groups(net_heavy, 16));
 }
 
+TEST(PickNumGroups, EmptyJobsDefaultsToOneGroup) {
+  Scheduler s;
+  EXPECT_EQ(s.pick_num_groups({}, 100), 1u);
+}
+
+TEST(PickNumGroups, ZeroMachinesDefaultsToOneGroup) {
+  std::vector<SchedJob> jobs{job(0, 100, 10), job(1, 100, 10)};
+  Scheduler s;
+  EXPECT_EQ(s.pick_num_groups(jobs, 0), 1u);
+}
+
+TEST(PickNumGroups, SingleJobGetsOneGroup) {
+  // max_groups = jobs.size() caps the search at 1, whatever the balance says.
+  std::vector<SchedJob> net_heavy{job(0, 1, 1000)};
+  Scheduler s;
+  EXPECT_EQ(s.pick_num_groups(net_heavy, 64), 1u);
+}
+
+TEST(PickNumGroups, TiesResolveToSmallestGroupCount) {
+  // A job with t_net = 0 has cost |T_cpu(M/nG)| = cpu_work * nG / M, strictly
+  // increasing in nG; a job with cpu_work = 0 has cost t_net independent of
+  // nG. Jointly the total is strictly increasing, so nG = 1 wins outright —
+  // and for exact ties the ascending scan with a strict '<' keeps the
+  // smallest candidate. Exercise an exact tie: two jobs whose costs swap
+  // symmetrically between nG = 1 and nG = 2.
+  // cost(nG) = |a*nG/M - n_a| + |b*nG/M - n_b| with M = 2:
+  //   job A: cpu 2, net 2  -> |nG - 2|   (cost 1 at nG=1, 0 at nG=2)
+  //   job B: cpu 2, net 1  -> |nG - 1|   (cost 0 at nG=1, 1 at nG=2)
+  // Total cost is 1 at both candidates: the tie must resolve to nG = 1.
+  std::vector<SchedJob> jobs{job(0, 2, 2), job(1, 2, 1)};
+  Scheduler s;
+  EXPECT_EQ(s.pick_num_groups(jobs, 2), 1u);
+}
+
 TEST(AssignJobs, PartitionIsCompleteAndDisjoint) {
   Scheduler s;
   std::vector<SchedJob> jobs;
