@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "exp/cluster_sim.h"
 #include "exp/metrics.h"
 #include "exp/workload.h"
+#include "obs/metrics.h"
 
 namespace harmony::bench {
 
@@ -38,6 +41,27 @@ inline void print_header(const std::string& title) {
 
 inline double speedup(double baseline, double value) {
   return value > 0.0 ? baseline / value : 0.0;
+}
+
+// Splices the current metrics-registry snapshot into an existing JSON report
+// (e.g. a google-benchmark --benchmark_out file) as a top-level
+// "harmony_metrics" member, so BENCH_*.json reports carry the run's counters
+// and gauges alongside the timing data. Returns false if the file is missing
+// or does not end with a JSON object.
+inline bool attach_metrics_snapshot(const std::string& json_path) {
+  std::ifstream in(json_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return false;
+  const std::string snapshot = obs::MetricsRegistry::instance().snapshot_json();
+  text.insert(close, ",\n\"harmony_metrics\": " + snapshot + "\n");
+  std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace harmony::bench
@@ -70,6 +94,9 @@ inline int run_benchmarks_emitting_json(int argc, char** argv,
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Attach the run's metrics snapshot to the report we own (an explicit
+  // --benchmark_out stays untouched: the caller may post-process it).
+  if (!has_out) attach_metrics_snapshot(default_json_out);
   return 0;
 }
 

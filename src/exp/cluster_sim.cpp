@@ -10,11 +10,16 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::exp {
 
 namespace {
 constexpr double kOomSlowdownCap = 8.0;
+
+// Simulated seconds -> trace microseconds.
+constexpr double kTraceUs = 1e6;
 
 double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -221,6 +226,7 @@ void ClusterSim::refresh_alpha(SimJob& job, bool initialize) {
   const double share = config_.machine_spec.memory_bytes /
                        std::max<double>(1.0, static_cast<double>(job.group->members.size()));
   (void)initialize;
+  const double prev_alpha = job.alpha;
   // α is the smallest ratio whose resident footprint fits the group's
   // current occupancy target (per-job ratios, coordinated target, §IV-C).
   const double target = job.group->occ_ctl ? job.group->occ_ctl->alpha()
@@ -237,6 +243,11 @@ void ClusterSim::refresh_alpha(SimJob& job, bool initialize) {
       job.spec.input_bytes(), job.spec.model_bytes(), 1.0, m, config_.machine_spec);
   job.model_spilled =
       job.alpha >= 0.999 && at_one.resident_bytes > config_.memory_params.gc_threshold * share;
+  if (obs::Tracer::enabled() && job.alpha > 0.0 && job.alpha != prev_alpha)
+    obs::Tracer::instant(obs::EventKind::kSpill, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs, job.spec.id,
+                         static_cast<std::uint32_t>(job.group->id), obs::kNoEntity,
+                         static_cast<std::uint64_t>(job.alpha * job.spec.input_bytes()));
 }
 
 // ---------------------------------------------------------------------------
@@ -256,6 +267,11 @@ double ClusterSim::comp_duration(SimJob& job) {
     if (!g.oom_recorded) {
       g.oom_recorded = true;
       summary_.oom_events++;
+      obs::MetricsRegistry::instance().counter("sim.oom_events").add();
+      if (obs::Tracer::enabled())
+        obs::Tracer::instant(obs::EventKind::kOom, obs::ClockDomain::kSim,
+                             sim_.now() * kTraceUs, job.spec.id,
+                             static_cast<std::uint32_t>(g.id));
       if (config_.debug_trace)
         std::fprintf(stderr, "OOM: group %zu members=%zu machines=%zu occ=%.3f\n", g.id,
                      g.members.size(), g.machines, occ);
@@ -299,6 +315,11 @@ void ClusterSim::start_iteration(SimJob& job) {
 
 void ClusterSim::begin_comp(SimJob& job, double pull_duration) {
   GroupRun& g = *job.group;
+  // The pull COMM subtask's service on the group's network lane just ended.
+  if (obs::Tracer::enabled())
+    obs::Tracer::complete(obs::EventKind::kSubtaskPull, obs::ClockDomain::kSim,
+                          (sim_.now() - pull_duration) * kTraceUs, pull_duration * kTraceUs,
+                          job.spec.id, static_cast<std::uint32_t>(g.id));
   auto submit = [this, &job, &g, pull_duration] {
     const double d_comp = comp_duration(job);
     auto next = [this, &job, pull_duration, d_comp] {
@@ -314,6 +335,11 @@ void ClusterSim::begin_comp(SimJob& job, double pull_duration) {
   // iteration have been reloaded (they stream in the background since the
   // last COMP ended).
   if (sim_.now() < job.reload_ready_at) {
+    if (obs::Tracer::enabled())
+      obs::Tracer::complete(obs::EventKind::kReload, obs::ClockDomain::kSim,
+                            sim_.now() * kTraceUs,
+                            (job.reload_ready_at - sim_.now()) * kTraceUs, job.spec.id,
+                            static_cast<std::uint32_t>(g.id));
     sim_.schedule_at(job.reload_ready_at, submit);
   } else {
     submit();
@@ -328,6 +354,11 @@ void ClusterSim::begin_push(SimJob& job, double pull_duration, double comp_dur) 
     std::abort();
   }
   GroupRun& g = *job.group;
+  // The COMP subtask's service on the group's CPU lane just ended.
+  if (obs::Tracer::enabled())
+    obs::Tracer::complete(obs::EventKind::kSubtaskComp, obs::ClockDomain::kSim,
+                          (sim_.now() - comp_dur) * kTraceUs, comp_dur * kTraceUs,
+                          job.spec.id, static_cast<std::uint32_t>(g.id));
   // Background reload for the next iteration starts now; co-located spilling
   // jobs share the disk.
   std::size_t spilling = 0;
@@ -341,6 +372,10 @@ void ClusterSim::begin_push(SimJob& job, double pull_duration, double comp_dur) 
 
   const double d_push = comm_half_duration(job);
   auto next = [this, &job, pull_duration, comp_dur, d_push] {
+    if (obs::Tracer::enabled() && job.group != nullptr)
+      obs::Tracer::complete(obs::EventKind::kSubtaskPush, obs::ClockDomain::kSim,
+                            (sim_.now() - d_push) * kTraceUs, d_push * kTraceUs,
+                            job.spec.id, static_cast<std::uint32_t>(job.group->id));
     end_iteration(job, pull_duration + d_push, comp_dur);
   };
   if (g.net_fifo) {
@@ -360,6 +395,10 @@ void ClusterSim::end_iteration(SimJob& job, double comm_duration, double comp_du
   profiler_.record(job.spec.id, g.machines, comp_duration_s, comm_duration);
 
   const double wall = sim_.now() - job.iter_start_time;
+  if (obs::Tracer::enabled())
+    obs::Tracer::complete(obs::EventKind::kIteration, obs::ClockDomain::kSim,
+                          job.iter_start_time * kTraceUs, wall * kTraceUs, job.spec.id,
+                          static_cast<std::uint32_t>(g.id));
   iteration_walls_.add(wall);
   if (job.iters_in_group >= 2) g.actual_iteration_times.add(wall);
 
@@ -443,6 +482,11 @@ ClusterSim::GroupRun& ClusterSim::create_group(const std::vector<core::JobId>& m
   groups_.push_back(std::move(group));
   GroupRun& g = *groups_.back();
   active_groups_storage_.push_back(&g);
+  obs::MetricsRegistry::instance().counter("sim.groups_created").add();
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kGroupCreate, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs, obs::kNoEntity,
+                         static_cast<std::uint32_t>(g.id), obs::kNoEntity, machines);
   for (core::JobId id : member_ids) place_job_in_group(*jobs_[id], g, false);
   return g;
 }
@@ -486,6 +530,10 @@ void ClusterSim::place_job_in_group(SimJob& job, GroupRun& group, bool with_migr
   if (with_migration_delay) {
     delay = migration_delay(job, group.machines);
     summary_.migration_overhead_sec += delay;
+    if (obs::Tracer::enabled() && delay > 0.0)
+      obs::Tracer::complete(obs::EventKind::kCheckpoint, obs::ClockDomain::kSim,
+                            sim_.now() * kTraceUs, delay * kTraceUs, job.spec.id,
+                            static_cast<std::uint32_t>(group.id));
   }
   sim_.schedule_in(delay, [this, &job, &group] {
     if (job.group == &group && job.state != core::JobState::kFinished) start_iteration(job);
@@ -549,6 +597,11 @@ void ClusterSim::dissolve_group(GroupRun& group) {
   if (group.dissolved) return;
   settle_group_prediction(group);
   group.dissolved = true;
+  obs::MetricsRegistry::instance().counter("sim.groups_dissolved").add();
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kGroupDissolve, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs, obs::kNoEntity,
+                         static_cast<std::uint32_t>(group.id));
   free_machines_ += group.machines;
   group.machines = 0;
   // The GroupRun object stays alive (resources may still fire no-op events);
@@ -830,6 +883,9 @@ void ClusterSim::schedule_on_spare_machines() {
   const core::ScheduleDecision decision = scheduler_.schedule(idle, spare);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kSchedule, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
   apply_decision(decision, {});
   scheduling_spare_ = false;
 }
@@ -894,6 +950,10 @@ void ClusterSim::begin_pending(core::ScheduleDecision decision,
   pr.involved = involved;
   pending_regroup_.emplace(std::move(pr));
   ++summary_.regroup_events;
+  obs::MetricsRegistry::instance().counter("sim.regroup_events").add();
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kRegroup, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
   for (GroupRun* g : involved) g->stopping = true;
   for (GroupRun* g : involved)
     if (!g->dissolved && g->active_members == 0) dissolve_group(*g);
@@ -990,6 +1050,9 @@ void ClusterSim::on_job_profiled(SimJob& job) {
       regrouper_.on_job_arrival(sched_view(job), idle, groups_view);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kSchedule, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
 
   if (action.kind == core::RegroupAction::Kind::kAddToGroup) {
     auto groups = live_groups();
@@ -1015,6 +1078,11 @@ void ClusterSim::on_job_profiled(SimJob& job) {
       // target group; only place it ourselves if it is still idle.
       if (job.group == nullptr && fits_without_spill(*target, job)) {
         ++summary_.regroup_events;
+        obs::MetricsRegistry::instance().counter("sim.regroup_events").add();
+        if (obs::Tracer::enabled())
+          obs::Tracer::instant(obs::EventKind::kRegroup, obs::ClockDomain::kSim,
+                               sim_.now() * kTraceUs, job.spec.id,
+                               static_cast<std::uint32_t>(target->id));
         settle_group_prediction(*target);
         place_job_in_group(job, *target, /*with_migration_delay=*/true);
         record_group_prediction(*target);
@@ -1047,6 +1115,9 @@ void ClusterSim::run_initial_harmony_schedule() {
   core::ScheduleDecision decision = scheduler_.schedule(pool, total_machines);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kSchedule, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
 
   // Tear down every bootstrap group; decision groups form as drains finish.
   begin_pending(std::move(decision), live_groups());
@@ -1057,6 +1128,10 @@ void ClusterSim::apply_decision(const core::ScheduleDecision& decision,
   // Additive application: only idle (group-less) jobs are placed; a job that
   // something else claimed in the meantime is skipped.
   ++summary_.regroup_events;
+  obs::MetricsRegistry::instance().counter("sim.regroup_events").add();
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kRegroup, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
   for (const core::GroupPlan& plan : decision.groups) {
     if (plan.jobs.empty() || plan.machines == 0) continue;
     const std::size_t m = std::min(plan.machines, free_machines_);
@@ -1148,6 +1223,9 @@ void ClusterSim::on_job_finished(SimJob& job) {
       sched_view(job), group_index, idle, groups_view, free_machines_);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kSchedule, obs::ClockDomain::kSim,
+                         sim_.now() * kTraceUs);
 
   switch (action.kind) {
     case core::RegroupAction::Kind::kNone:
@@ -1163,6 +1241,11 @@ void ClusterSim::on_job_finished(SimJob& job) {
           place_job_in_group(repl, *target, /*with_migration_delay=*/true);
         }
         ++summary_.regroup_events;
+        obs::MetricsRegistry::instance().counter("sim.regroup_events").add();
+        if (obs::Tracer::enabled())
+          obs::Tracer::instant(obs::EventKind::kRegroup, obs::ClockDomain::kSim,
+                               sim_.now() * kTraceUs, job.spec.id,
+                               static_cast<std::uint32_t>(target->id));
         record_group_prediction(*target);
       }
       break;
@@ -1349,6 +1432,10 @@ void ClusterSim::sample_utilization() {
     concurrent_jobs_samples_.add(static_cast<double>(running_jobs));
     concurrent_groups_samples_.add(static_cast<double>(running_groups));
   }
+  // Sampled once per window rather than per event so the hot loop stays clean.
+  static obs::HistogramMetric& queue_depth =
+      obs::MetricsRegistry::instance().histogram("sim.event_queue_depth", 0.0, 4096.0, 64);
+  queue_depth.observe(static_cast<double>(sim_.pending()));
 
   // Keep sampling while anything is active or still to come.
   if (unfinished_count_ > 0) sim_.schedule_in(window, [this] { sample_utilization(); });
@@ -1373,6 +1460,15 @@ RunSummary ClusterSim::run() {
   summary_.avg_util = timeline_.average_until(summary_.makespan);
   const double total = gc_lost_seconds_ + comp_base_seconds_;
   summary_.gc_time_fraction = total > 0.0 ? gc_lost_seconds_ / total : 0.0;
+
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.gauge("sim.events_fired").set(static_cast<double>(sim_.events_fired()));
+  reg.gauge("sim.makespan_sec").set(summary_.makespan);
+  reg.gauge("sim.mean_jct_sec").set(summary_.mean_jct());
+  reg.gauge("sim.regroup_events").set(static_cast<double>(summary_.regroup_events));
+  reg.gauge("sim.sched_invocations").set(static_cast<double>(sched_invocations_));
+  reg.gauge("sim.sched_wall_seconds").set(sched_wall_seconds_);
+  reg.gauge("sim.oom_events").set(static_cast<double>(summary_.oom_events));
   return summary_;
 }
 

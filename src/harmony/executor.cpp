@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace harmony::core {
 
 SubtaskExecutor::SubtaskExecutor(Params params) {
@@ -59,7 +61,14 @@ void SubtaskExecutor::worker_loop(Lane& lane) {
         ++failures_;
         handler = failure_handler_;
       }
+      obs::MetricsRegistry::instance().counter("executor.subtask_failures").add();
       if (handler) handler(task.job, e.what());
+    }
+    {
+      // One relaxed add per subtask; the reference is resolved once.
+      static obs::Counter& completed_counter =
+          obs::MetricsRegistry::instance().counter("executor.subtasks_completed");
+      completed_counter.add();
     }
     if (task.on_complete) task.on_complete();
     {

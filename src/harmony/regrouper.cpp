@@ -6,8 +6,17 @@
 #include <unordered_map>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace harmony::core {
+namespace {
+
+// Pure observation of which branch of the §IV-B rules fired; never read back.
+void count_action(const char* name) {
+  obs::MetricsRegistry::instance().counter(name).add();
+}
+
+}  // namespace
 
 Regrouper::Regrouper(const Scheduler& scheduler, Params params)
     : scheduler_(scheduler), params_(params) {}
@@ -52,10 +61,14 @@ RegroupAction Regrouper::on_job_arrival(const SchedJob& new_job,
       best_group = g;
     }
   }
-  if (best_group == groups.size()) return action;  // no group improves U: wait
+  if (best_group == groups.size()) {
+    count_action("regrouper.arrival_wait");
+    return action;  // no group improves U: wait
+  }
 
   action.kind = RegroupAction::Kind::kAddToGroup;
   action.group_index = best_group;
+  count_action("regrouper.arrival_add_to_group");
   return action;
 }
 
@@ -73,6 +86,7 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
       action.kind = RegroupAction::Kind::kReplace;
       action.group_index = group_index;
       action.replacements = {cand};
+      count_action("regrouper.finish_replace");
       return action;
     }
   }
@@ -92,6 +106,7 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
         action.kind = RegroupAction::Kind::kReplace;
         action.group_index = group_index;
         action.replacements = {idle[a], idle[b]};
+        count_action("regrouper.finish_replace");
         return action;
       }
     }
@@ -179,9 +194,12 @@ RegroupAction Regrouper::on_job_finish(const SchedJob& finished, std::size_t gro
   }
 
   // Skip regrouping entirely when the expected benefit is under 5 % of U.
-  if (!best) return action;
-  if (best_score - current_score < params_.min_benefit * std::max(current_score, 1e-9))
+  if (!best ||
+      best_score - current_score < params_.min_benefit * std::max(current_score, 1e-9)) {
+    count_action("regrouper.finish_none");
     return action;
+  }
+  count_action("regrouper.finish_reschedule");
   return *best;
 }
 

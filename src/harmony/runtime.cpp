@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/partition.h"
 
 namespace harmony::core {
@@ -27,6 +29,7 @@ struct LocalRuntime::JobRun {
 
   Clock::time_point job_start;
   Clock::time_point phase_start;
+  double iter_trace_start_us = 0.0;  // wall-domain iteration span start
   double comp_accum = 0.0;
   double comm_accum = 0.0;
   double iter_comp = 0.0;
@@ -139,6 +142,7 @@ void LocalRuntime::submit_phase(JobRun& jr, SubtaskType type,
 void LocalRuntime::start_iteration(JobRun& jr) {
   jr.iter_comm = 0.0;
   jr.iter_comp = 0.0;
+  if (obs::Tracer::enabled()) jr.iter_trace_start_us = obs::Tracer::wall_now_us();
   phase_pull(jr);
 }
 
@@ -146,7 +150,11 @@ void LocalRuntime::phase_pull(JobRun& jr) {
   jr.phase_start = Clock::now();
   submit_phase(
       jr, SubtaskType::kComm,
-      [&jr](std::size_t m) { jr.ps->worker(m).pull_transfer(); },
+      [&jr](std::size_t m) {
+        obs::WallSpan span(obs::EventKind::kSubtaskPull, jr.id, obs::kNoEntity,
+                           static_cast<std::uint32_t>(m));
+        jr.ps->worker(m).pull_transfer();
+      },
       [this, &jr] { phase_comp(jr); });
 }
 
@@ -156,6 +164,8 @@ void LocalRuntime::phase_comp(JobRun& jr) {
   submit_phase(
       jr, SubtaskType::kComp,
       [&jr](std::size_t m) {
+        obs::WallSpan span(obs::EventKind::kSubtaskComp, jr.id, obs::kNoEntity,
+                           static_cast<std::uint32_t>(m));
         // Injected fault: one worker's COMP throws (caught by the executor).
         if (m == 0 && jr.fail_next.exchange(false))
           throw std::runtime_error("injected COMP failure");
@@ -175,7 +185,11 @@ void LocalRuntime::phase_push(JobRun& jr) {
   jr.phase_start = Clock::now();
   submit_phase(
       jr, SubtaskType::kComm,
-      [&jr](std::size_t m) { jr.ps->worker(m).push_transfer(); },
+      [&jr](std::size_t m) {
+        obs::WallSpan span(obs::EventKind::kSubtaskPush, jr.id, obs::kNoEntity,
+                           static_cast<std::uint32_t>(m));
+        jr.ps->worker(m).push_transfer();
+      },
       [this, &jr] { on_iteration_end(jr); });
 }
 
@@ -183,6 +197,12 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
   jr.iter_comm += seconds_since(jr.phase_start);
   jr.comm_accum += jr.iter_comm;
   ++jr.result.iterations;
+  obs::MetricsRegistry::instance().counter("runtime.iterations").add();
+  if (obs::Tracer::enabled()) {
+    const double end_us = obs::Tracer::wall_now_us();
+    obs::Tracer::complete(obs::EventKind::kIteration, obs::ClockDomain::kWall,
+                          jr.iter_trace_start_us, end_us - jr.iter_trace_start_us, jr.id);
+  }
 
   // A subtask of this iteration threw. Restart from the last epoch
   // checkpoint if the budget allows; otherwise the job fails (other
@@ -216,7 +236,11 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
     jr.result.final_loss = loss;
     if (jr.config.max_restarts > 0) {
       // Standard per-epoch checkpointing (§VI fault tolerance).
-      checkpoints_->save(jr.id, jr.ps->full_model());
+      {
+        obs::WallSpan span(obs::EventKind::kCheckpoint, jr.id);
+        checkpoints_->save(jr.id, jr.ps->full_model());
+      }
+      obs::MetricsRegistry::instance().counter("runtime.checkpoints").add();
       jr.last_checkpoint_epoch = jr.result.epochs;
       jr.has_checkpoint = true;
     }
@@ -236,7 +260,11 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
     std::unique_lock lock(mu_);
     if (jr.pause_requested) {
       lock.unlock();
-      checkpoints_->save(jr.id, jr.ps->full_model());
+      {
+        obs::WallSpan span(obs::EventKind::kCheckpoint, jr.id);
+        checkpoints_->save(jr.id, jr.ps->full_model());
+      }
+      obs::MetricsRegistry::instance().counter("runtime.checkpoints").add();
       lock.lock();
       jr.pause_requested = false;
       jr.paused = true;
@@ -251,6 +279,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
 bool LocalRuntime::try_restart(JobRun& jr) {
   if (jr.result.restarts >= jr.config.max_restarts) return false;
   ++jr.result.restarts;
+  obs::MetricsRegistry::instance().counter("runtime.restarts").add();
   if (jr.has_checkpoint) {
     const auto model = checkpoints_->load(jr.id);
     for (std::size_t s = 0; s < jr.ps->num_shards(); ++s) {

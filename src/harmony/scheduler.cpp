@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace harmony::core {
 namespace {
 
@@ -534,6 +536,13 @@ ScheduleDecision Scheduler::schedule(std::span<const SchedJob> jobs,
       break;
     }
   }
+  // Observation only: counters never feed back into the decision above.
+  static obs::Counter& invocations =
+      obs::MetricsRegistry::instance().counter("scheduler.invocations");
+  static obs::Counter& groups_planned =
+      obs::MetricsRegistry::instance().counter("scheduler.groups_planned");
+  invocations.add();
+  groups_planned.add(best.groups.size());
   return best;
 }
 

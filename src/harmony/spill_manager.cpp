@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace harmony::core {
 
 BlockManager::BlockManager(double total_bytes, double block_bytes) {
@@ -49,19 +51,28 @@ void BlockManager::set_alpha(double target_alpha) {
   const auto want = static_cast<std::size_t>(
       std::llround(target_alpha * static_cast<double>(blocks_.size())));
   std::size_t have = disk_blocks();
+  double spilled = 0.0;
+  double reloaded = 0.0;
   // Spill from the back (coldest), reload from the front of the disk region.
   for (std::size_t i = blocks_.size(); i-- > 0 && have < want;) {
     if (!blocks_[i].on_disk) {
       blocks_[i].on_disk = true;
+      spilled += blocks_[i].bytes;
       ++have;
     }
   }
   for (std::size_t i = 0; i < blocks_.size() && have > want; ++i) {
     if (blocks_[i].on_disk) {
       blocks_[i].on_disk = false;
+      reloaded += blocks_[i].bytes;
       --have;
     }
   }
+  auto& reg = obs::MetricsRegistry::instance();
+  if (spilled > 0.0)
+    reg.counter("spill.block_bytes_spilled").add(static_cast<std::uint64_t>(spilled));
+  if (reloaded > 0.0)
+    reg.counter("spill.block_bytes_reloaded").add(static_cast<std::uint64_t>(reloaded));
 }
 
 SpillCosts SpillCostModel::costs(double input_bytes, double model_bytes, double alpha,

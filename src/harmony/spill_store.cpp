@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/serialization.h"
 
 namespace harmony::core {
@@ -47,6 +49,11 @@ void DiskSpillStore::spill(JobId job, std::size_t block, std::span<const double>
   }
   bytes_on_disk_ += payload;
   spilled_total_ += payload;
+  obs::MetricsRegistry::instance().counter("spill.disk_bytes_written").add(payload);
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kSpill, obs::ClockDomain::kWall,
+                         obs::Tracer::wall_now_us(), job, obs::kNoEntity, obs::kNoEntity,
+                         payload);
 }
 
 std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
@@ -68,7 +75,13 @@ std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
   if (reader.get_u32() != job || reader.get_u64() != block)
     throw std::runtime_error("DiskSpillStore: block header mismatch");
   auto data = reader.get_doubles();
-  reloaded_total_ += data.size() * sizeof(double);
+  const auto payload = static_cast<std::uint64_t>(data.size() * sizeof(double));
+  reloaded_total_ += payload;
+  obs::MetricsRegistry::instance().counter("spill.disk_bytes_reloaded").add(payload);
+  if (obs::Tracer::enabled())
+    obs::Tracer::instant(obs::EventKind::kReload, obs::ClockDomain::kWall,
+                         obs::Tracer::wall_now_us(), job, obs::kNoEntity, obs::kNoEntity,
+                         payload);
   return data;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace harmony::core {
 
 void SubtaskSynchronizer::register_job(JobId job, std::size_t workers) {
@@ -42,7 +44,12 @@ void SubtaskSynchronizer::arrive(JobId job) {
     if (--step.remaining == 0) fire = std::move(step.on_all);
   }
   // Fired outside the lock: the continuation typically begins the next step.
-  if (fire) fire();
+  if (fire) {
+    static obs::Counter& steps =
+        obs::MetricsRegistry::instance().counter("synchronizer.steps_completed");
+    steps.add();
+    fire();
+  }
 }
 
 std::size_t SubtaskSynchronizer::pending(JobId job) const {

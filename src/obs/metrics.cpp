@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace harmony::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), hist_(lo, hi, bins) {}
+
+void HistogramMetric::observe(double x) {
+  std::scoped_lock lock(mu_);
+  hist_.add(x);
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+std::size_t HistogramMetric::count() const {
+  std::scoped_lock lock(mu_);
+  return count_;
+}
+
+double HistogramMetric::sum() const {
+  std::scoped_lock lock(mu_);
+  return sum_;
+}
+
+double HistogramMetric::min() const {
+  std::scoped_lock lock(mu_);
+  return min_;
+}
+
+double HistogramMetric::max() const {
+  std::scoped_lock lock(mu_);
+  return max_;
+}
+
+Histogram HistogramMetric::histogram() const {
+  std::scoped_lock lock(mu_);
+  return hist_;
+}
+
+void HistogramMetric::reset() {
+  std::scoped_lock lock(mu_);
+  hist_ = Histogram(lo_, hi_, bins_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaky singleton for the same reason as the tracer: instrumented worker
+  // threads may outlive static destruction order.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                            std::size_t bins) {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramMetric>(lo, hi, bins))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+// JSON-safe number: finite doubles printed with enough digits to round-trip.
+std::string json_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, c->value());
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + json_double(g->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram hist = h->histogram();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": {\"count\": " + std::to_string(h->count()) +
+           ", \"sum\": " + json_double(h->sum()) + ", \"min\": " + json_double(h->min()) +
+           ", \"max\": " + json_double(h->max()) + ", \"bin_lo\": " +
+           json_double(hist.bin_lo(0)) + ", \"bin_hi\": " +
+           json_double(hist.bin_hi(hist.bins().size() - 1)) + ", \"bins\": [";
+    for (std::size_t i = 0; i < hist.bins().size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(hist.bins()[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    HLOG(kError) << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  out << snapshot_json();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace harmony::obs

@@ -1,0 +1,104 @@
+// Metrics registry (the observability layer's aggregate half).
+//
+// Named counters, gauges and histograms for run-level telemetry: scheduler
+// invocations, regroup events, spill bytes, queue depths, event-loop
+// throughput. Registration hands back a stable reference that call sites
+// cache (typically in a function-local static), so steady-state updates are
+// one relaxed atomic op with no lookup. Snapshots serialize to JSON for the
+// --metrics flag and for attaching to bench reports.
+//
+// Metrics are always on: the per-update cost is a single uncontended atomic
+// add at decision-level granularity (per schedule call, per regroup, per
+// subtask in the threaded runtime), never inside the simulator's event loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace harmony::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-shape histogram (equal-width bins over [lo, hi], out-of-range samples
+// clamp into the edge bins) plus running count/sum/min/max.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void observe(double x);
+
+  std::size_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  Histogram histogram() const;  // copy of the current bin state
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  mutable std::mutex mu_;
+  Histogram hist_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& instance();
+
+  // Returns the named metric, creating it on first use. References stay
+  // valid for the registry's lifetime — cache them at hot call sites. A
+  // histogram's shape is fixed by whoever registers it first.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name, double lo, double hi, std::size_t bins);
+
+  // Zeroes every registered metric (registrations survive).
+  void reset();
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}, keys sorted.
+  std::string snapshot_json() const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_;
+};
+
+}  // namespace harmony::obs

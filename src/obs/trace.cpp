@@ -1,0 +1,285 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace harmony::obs {
+
+std::atomic<bool> Tracer::g_enabled{false};
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kSubtaskComp:
+      return "subtask_comp";
+    case EventKind::kSubtaskPull:
+      return "subtask_pull";
+    case EventKind::kSubtaskPush:
+      return "subtask_push";
+    case EventKind::kIteration:
+      return "iteration";
+    case EventKind::kReload:
+      return "reload";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kSchedule:
+      return "schedule";
+    case EventKind::kRegroup:
+      return "regroup";
+    case EventKind::kSpill:
+      return "spill";
+    case EventKind::kGroupCreate:
+      return "group_create";
+    case EventKind::kGroupDissolve:
+      return "group_dissolve";
+    case EventKind::kOom:
+      return "oom";
+  }
+  return "?";
+}
+
+Tracer& Tracer::instance() {
+  // Leaky singleton: worker threads may record during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::wall_now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch).count();
+}
+
+Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
+  // One buffer per (thread, process lifetime); the cached pointer stays valid
+  // because the singleton and its registered buffers are never destroyed.
+  thread_local ThreadBuffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    cached = owned.get();
+    std::scoped_lock lock(registry_mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  return *cached;
+}
+
+void Tracer::record_enabled(const TraceEvent& event) {
+  ThreadBuffer& buf = buffer_for_this_thread();
+  std::scoped_lock lock(buf.mu);
+  buf.events.push_back(event);
+}
+
+void Tracer::complete(EventKind kind, ClockDomain clock, double ts_us, double dur_us,
+                      std::uint32_t job, std::uint32_t group, std::uint32_t machine,
+                      std::uint64_t bytes) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.kind = kind;
+  e.phase = Phase::kComplete;
+  e.clock = clock;
+  e.job = job;
+  e.group = group;
+  e.machine = machine;
+  e.bytes = bytes;
+  instance().record_enabled(e);
+}
+
+void Tracer::instant(EventKind kind, ClockDomain clock, double ts_us, std::uint32_t job,
+                     std::uint32_t group, std::uint32_t machine, std::uint64_t bytes) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.ts_us = ts_us;
+  e.kind = kind;
+  e.phase = Phase::kInstant;
+  e.clock = clock;
+  e.job = job;
+  e.group = group;
+  e.machine = machine;
+  e.bytes = bytes;
+  instance().record_enabled(e);
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(registry_mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::scoped_lock buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::scoped_lock buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::scoped_lock lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+      std::scoped_lock buf_lock(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  // Tracks never mix clock domains, so sorting by (domain, start) yields
+  // monotone timestamps per track while keeping same-instant record order.
+  std::stable_sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.clock != b.clock) return a.clock < b.clock;
+    return a.ts_us < b.ts_us;
+  });
+  return all;
+}
+
+namespace {
+
+// Chrome track mapping. Jobs are processes (pid = job + 1; pid 0 hosts
+// cluster-scope events like scheduler decisions). Within a process, real
+// machines are tracks; in the simulation domain each group exposes a comp
+// lane and a comm lane (its two pipelined resources).
+struct Track {
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+};
+
+constexpr std::int64_t kLifecycleTid = 0;  // iterations / scheduler decisions
+constexpr std::int64_t kMiscTid = 1;       // events with no group or machine
+
+Track track_of(const TraceEvent& e) {
+  Track t;
+  t.pid = e.job == kNoEntity ? 0 : static_cast<std::int64_t>(e.job) + 1;
+  if (e.clock == ClockDomain::kWall && e.machine != kNoEntity) {
+    t.tid = 2 + static_cast<std::int64_t>(e.machine);
+    return t;
+  }
+  if (e.kind == EventKind::kIteration || e.kind == EventKind::kSchedule) {
+    t.tid = kLifecycleTid;
+    return t;
+  }
+  if (e.group == kNoEntity) {
+    t.tid = kMiscTid;
+    return t;
+  }
+  const bool comm = e.kind == EventKind::kSubtaskPull || e.kind == EventKind::kSubtaskPush;
+  t.tid = 2 + 2 * static_cast<std::int64_t>(e.group) + (comm ? 1 : 0);
+  return t;
+}
+
+std::string track_name(const TraceEvent& e, const Track& t) {
+  if (t.tid == kLifecycleTid) return e.job == kNoEntity ? "decisions" : "iterations";
+  if (e.clock == ClockDomain::kWall && e.machine != kNoEntity)
+    return "machine " + std::to_string(e.machine);
+  if (t.tid == kMiscTid) return "events";
+  const std::int64_t group = (t.tid - 2) / 2;
+  return "g" + std::to_string(group) + ((t.tid - 2) % 2 ? " comm" : " comp");
+}
+
+void append_common_fields(std::string& out, const TraceEvent& e, const Track& t) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\"cat\":\"%s\",\"ts\":%.3f,\"pid\":%" PRId64
+                                  ",\"tid\":%" PRId64,
+                e.clock == ClockDomain::kSim ? "sim" : "wall", e.ts_us, t.pid, t.tid);
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceEvent& e) {
+  out += ",\"args\":{";
+  bool first = true;
+  char buf[64];
+  const auto field = [&](const char* key, std::uint64_t value) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, value);
+    out += buf;
+  };
+  if (e.job != kNoEntity) field("job", e.job);
+  if (e.group != kNoEntity) field("group", e.group);
+  if (e.machine != kNoEntity) field("machine", e.machine);
+  if (e.bytes != 0) field("bytes", e.bytes);
+  out += '}';
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // Name every process and track we are about to reference.
+  std::map<std::int64_t, std::string> processes;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::string> tracks;
+  for (const TraceEvent& e : events) {
+    const Track t = track_of(e);
+    auto [pit, pnew] = processes.try_emplace(t.pid);
+    if (pnew)
+      pit->second = t.pid == 0 ? "cluster" : "job " + std::to_string(t.pid - 1);
+    tracks.try_emplace({t.pid, t.tid}, track_name(e, t));
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  const auto emit = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << line;
+  };
+
+  for (const auto& [pid, name] : processes) {
+    line = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}}";
+    emit();
+  }
+  for (const auto& [key, name] : tracks) {
+    line = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+           ",\"tid\":" + std::to_string(key.second) + ",\"args\":{\"name\":\"" + name +
+           "\"}}";
+    emit();
+  }
+
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    const Track t = track_of(e);
+    line.clear();
+    line += "{\"name\":\"";
+    line += to_string(e.kind);
+    line += "\",";
+    if (e.phase == Phase::kComplete) {
+      line += "\"ph\":\"X\",";
+      append_common_fields(line, e, t);
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      line += buf;
+    } else {
+      line += "\"ph\":\"i\",\"s\":\"t\",";
+      append_common_fields(line, e, t);
+    }
+    append_args(line, e);
+    line += '}';
+    emit();
+  }
+  out << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    HLOG(kError) << "tracer: cannot open " << path << " for writing";
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace harmony::obs

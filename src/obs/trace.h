@@ -1,0 +1,165 @@
+// Structured event tracing (the observability layer's timeline half).
+//
+// The tracer records typed span/instant events — subtask executions, scheduler
+// decisions, regroups, spills/reloads, checkpoints, whole iterations — tagged
+// with job/group/machine ids, and exports them as Chrome trace-event JSON
+// (loadable in chrome://tracing or Perfetto). Jobs map to trace processes;
+// group lanes (simulation) or machines (real runtime) map to tracks.
+//
+// Two clock domains coexist: simulated seconds from the discrete-event
+// engine and wall time from the threaded runtime. Every event carries its
+// domain so a trace never silently mixes the two timebases.
+//
+// Cost model: tracing is always compiled in but disabled by default. The
+// disabled path is one relaxed atomic load and a branch — no allocation, no
+// lock, no argument-dependent work (call sites guard argument computation
+// with Tracer::enabled()). When enabled, each thread appends to its own
+// buffer under its own (uncontended) mutex; buffers are only walked at
+// snapshot/export time. Recording never influences scheduling decisions, so
+// golden-determinism results are bit-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace harmony::obs {
+
+// Event taxonomy. Spans: subtask and iteration executions, reload stalls,
+// checkpoint/migration pauses. Instants: decision points and state changes.
+enum class EventKind : std::uint8_t {
+  kSubtaskComp,    // COMP subtask service (span)
+  kSubtaskPull,    // COMM pull-half service (span)
+  kSubtaskPush,    // COMM push-half service (span)
+  kIteration,      // one whole job iteration, queueing included (span)
+  kReload,         // COMP stalled waiting on disk reload (span)
+  kCheckpoint,     // checkpoint/migration pause (span)
+  kSchedule,       // an Algorithm 1 / regrouper invocation (instant)
+  kRegroup,        // a regroup event, 1:1 with RunSummary::regroup_events (instant)
+  kSpill,          // a job's disk ratio changed (instant, bytes = spill target)
+  kGroupCreate,    // group materialized (instant)
+  kGroupDissolve,  // group drained and dissolved (instant)
+  kOom,            // group crossed the OOM occupancy line (instant)
+};
+
+const char* to_string(EventKind kind) noexcept;
+
+enum class Phase : std::uint8_t { kComplete, kInstant };
+
+enum class ClockDomain : std::uint8_t { kSim, kWall };
+
+inline constexpr std::uint32_t kNoEntity = 0xffffffffu;
+
+struct TraceEvent {
+  double ts_us = 0.0;   // event start, microseconds in its clock domain
+  double dur_us = 0.0;  // span length (0 for instants)
+  EventKind kind = EventKind::kSchedule;
+  Phase phase = Phase::kInstant;
+  ClockDomain clock = ClockDomain::kSim;
+  std::uint32_t job = kNoEntity;      // maps to a Chrome process
+  std::uint32_t group = kNoEntity;    // maps to a track in the sim domain
+  std::uint32_t machine = kNoEntity;  // maps to a track in the wall domain
+  std::uint64_t bytes = 0;            // payload size where meaningful
+};
+
+class Tracer {
+ public:
+  // Process-wide tracer. Static storage only — thread-local buffer pointers
+  // cached by recording threads must never dangle.
+  static Tracer& instance();
+
+  static bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+  // Records one event. No-op (one load + branch, zero allocation) when
+  // disabled. Thread-safe: each thread writes its own buffer.
+  static void record(const TraceEvent& event) {
+    if (!enabled()) return;
+    instance().record_enabled(event);
+  }
+
+  // Convenience builders used by instrumentation sites. Call only under an
+  // enabled() guard when computing the arguments costs anything.
+  static void complete(EventKind kind, ClockDomain clock, double ts_us, double dur_us,
+                       std::uint32_t job, std::uint32_t group = kNoEntity,
+                       std::uint32_t machine = kNoEntity, std::uint64_t bytes = 0);
+  static void instant(EventKind kind, ClockDomain clock, double ts_us,
+                      std::uint32_t job = kNoEntity, std::uint32_t group = kNoEntity,
+                      std::uint32_t machine = kNoEntity, std::uint64_t bytes = 0);
+
+  // Wall-clock microseconds since the tracer was first touched (steady clock,
+  // so wall-domain spans are monotone and comparable within a process).
+  static double wall_now_us() noexcept;
+
+  // Total events currently buffered across all threads.
+  std::size_t size() const;
+
+  // Drops every buffered event (thread buffers stay registered).
+  void clear();
+
+  // Copies all buffered events, stably sorted by (clock domain, start time).
+  std::vector<TraceEvent> snapshot() const;
+
+  // Writes the Chrome trace-event JSON object ({"traceEvents": [...]}) with
+  // process/thread metadata. Events are emitted in sorted ts order per track.
+  void write_chrome_trace(std::ostream& out) const;
+
+  // Convenience wrapper; returns false (and logs) on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer() = default;
+
+  void record_enabled(const TraceEvent& event);
+  ThreadBuffer& buffer_for_this_thread();
+
+  static std::atomic<bool> g_enabled;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// RAII wall-clock span: records a complete event on destruction when tracing
+// was enabled at construction. For instrumenting the threaded runtime.
+class WallSpan {
+ public:
+  WallSpan(EventKind kind, std::uint32_t job, std::uint32_t group = kNoEntity,
+           std::uint32_t machine = kNoEntity, std::uint64_t bytes = 0) noexcept
+      : armed_(Tracer::enabled()),
+        kind_(kind),
+        job_(job),
+        group_(group),
+        machine_(machine),
+        bytes_(bytes),
+        start_us_(armed_ ? Tracer::wall_now_us() : 0.0) {}
+
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  ~WallSpan() {
+    if (!armed_) return;
+    const double end_us = Tracer::wall_now_us();
+    Tracer::complete(kind_, ClockDomain::kWall, start_us_, end_us - start_us_, job_, group_,
+                     machine_, bytes_);
+  }
+
+ private:
+  bool armed_;
+  EventKind kind_;
+  std::uint32_t job_;
+  std::uint32_t group_;
+  std::uint32_t machine_;
+  std::uint64_t bytes_;
+  double start_us_;
+};
+
+}  // namespace harmony::obs

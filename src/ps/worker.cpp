@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "ps/ps_system.h"
 #include "ps/serialization.h"
 
@@ -27,13 +28,17 @@ Range PsWorker::current_batch() const noexcept {
 }
 
 void PsWorker::pull_transfer() {
+  static obs::Counter& pull_bytes = obs::MetricsRegistry::instance().counter("ps.pull_bytes");
   pulled_payloads_.clear();
   pulled_payloads_.reserve(system_.num_shards());
+  std::size_t bytes = 0;
   for (std::size_t s = 0; s < system_.num_shards(); ++s) {
     auto payload = system_.shard(s).serialize_params();
     nic_.transfer(payload.size());
+    bytes += payload.size();
     pulled_payloads_.push_back(std::move(payload));
   }
+  pull_bytes.add(bytes);
 }
 
 void PsWorker::pull_deserialize() {
@@ -70,10 +75,14 @@ void PsWorker::push_serialize() {
 }
 
 void PsWorker::push_transfer() {
+  static obs::Counter& push_bytes = obs::MetricsRegistry::instance().counter("ps.push_bytes");
+  std::size_t bytes = 0;
   for (std::size_t s = 0; s < push_payloads_.size(); ++s) {
     nic_.transfer(push_payloads_[s].size());
     system_.shard(s).apply_push(push_payloads_[s]);
+    bytes += push_payloads_[s].size();
   }
+  push_bytes.add(bytes);
   push_payloads_.clear();
 }
 

@@ -49,6 +49,9 @@ class Simulator {
 
   bool empty() const noexcept { return live_.empty(); }
   std::uint64_t events_fired() const noexcept { return fired_; }
+  // Live (non-cancelled) pending events; observability samples this as the
+  // event-queue depth.
+  std::size_t pending() const noexcept { return live_.size(); }
 
  private:
   struct Event {

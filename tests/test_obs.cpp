@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "json_mini.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace harmony::obs {
+namespace {
+
+using testing::parse_json;
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  EXPECT_FALSE(Tracer::enabled());
+  Tracer::complete(EventKind::kSubtaskComp, ClockDomain::kSim, 0.0, 10.0, 1);
+  Tracer::instant(EventKind::kSchedule, ClockDomain::kSim, 5.0);
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TracerTest, EnabledRecordsAndSnapshotSortsByTime) {
+  Tracer::instance().set_enabled(true);
+  Tracer::complete(EventKind::kSubtaskComp, ClockDomain::kSim, 30.0, 5.0, 2);
+  Tracer::instant(EventKind::kSchedule, ClockDomain::kSim, 10.0);
+  Tracer::complete(EventKind::kSubtaskPull, ClockDomain::kSim, 20.0, 2.0, 2);
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 20.0);
+  EXPECT_DOUBLE_EQ(events[2].ts_us, 30.0);
+  EXPECT_EQ(events[2].kind, EventKind::kSubtaskComp);
+  EXPECT_EQ(events[2].job, 2u);
+}
+
+TEST_F(TracerTest, SimSortsBeforeWallDomain) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instant(EventKind::kSpill, ClockDomain::kWall, 1.0, 0);
+  Tracer::instant(EventKind::kSchedule, ClockDomain::kSim, 99.0);
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].clock, ClockDomain::kSim);
+  EXPECT_EQ(events[1].clock, ClockDomain::kWall);
+}
+
+TEST_F(TracerTest, ClearDropsEvents) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instant(EventKind::kRegroup, ClockDomain::kSim, 1.0);
+  EXPECT_EQ(Tracer::instance().size(), 1u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+  Tracer::instant(EventKind::kRegroup, ClockDomain::kSim, 2.0);
+  EXPECT_EQ(Tracer::instance().size(), 1u);
+}
+
+TEST_F(TracerTest, WallSpanRecordsCompleteEvent) {
+  Tracer::instance().set_enabled(true);
+  { WallSpan span(EventKind::kSubtaskComp, /*job=*/7, kNoEntity, /*machine=*/3); }
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kSubtaskComp);
+  EXPECT_EQ(events[0].phase, Phase::kComplete);
+  EXPECT_EQ(events[0].clock, ClockDomain::kWall);
+  EXPECT_EQ(events[0].job, 7u);
+  EXPECT_EQ(events[0].machine, 3u);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST_F(TracerTest, WallSpanArmedAtConstructionNotDestruction) {
+  // A span opened while tracing is off must not record, even if tracing is
+  // turned on before it closes (its start time was never taken).
+  WallSpan* span = new WallSpan(EventKind::kSubtaskPull, 1);
+  Tracer::instance().set_enabled(true);
+  delete span;
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TracerTest, MultithreadedRecordingLosesNothing) {
+  Tracer::instance().set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        Tracer::complete(EventKind::kSubtaskComp, ClockDomain::kWall,
+                         static_cast<double>(i), 1.0, static_cast<std::uint32_t>(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<int> per_job(kThreads, 0);
+  for (const auto& e : events) {
+    ASSERT_LT(e.job, static_cast<std::uint32_t>(kThreads));
+    ++per_job[e.job];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_job[t], kPerThread);
+}
+
+TEST_F(TracerTest, ChromeTraceExportIsValidJson) {
+  Tracer::instance().set_enabled(true);
+  Tracer::complete(EventKind::kSubtaskComp, ClockDomain::kSim, 100.0, 50.0, /*job=*/0,
+                   /*group=*/1);
+  Tracer::instant(EventKind::kRegroup, ClockDomain::kSim, 120.0);
+  Tracer::complete(EventKind::kSubtaskPush, ClockDomain::kWall, 10.0, 5.0, /*job=*/1,
+                   kNoEntity, /*machine=*/2, /*bytes=*/4096);
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+
+  const auto doc = parse_json(out.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").string(), "ms");
+  const auto& events = doc.at("traceEvents").array();
+  std::size_t x_events = 0, instants = 0, metadata = 0;
+  for (const auto& e : events) {
+    const std::string ph = e.at("ph").string();
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_TRUE(e.at("name").string() == "process_name" ||
+                  e.at("name").string() == "thread_name");
+      continue;
+    }
+    EXPECT_TRUE(ph == "X" || ph == "i");
+    if (ph == "X") {
+      ++x_events;
+      EXPECT_GE(e.at("dur").number(), 0.0);
+    } else {
+      ++instants;
+    }
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("tid"));
+    EXPECT_TRUE(e.contains("ts"));
+  }
+  EXPECT_EQ(x_events, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_GT(metadata, 0u);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  auto& c = reg.counter("test.counter");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLastValue) {
+  auto& reg = MetricsRegistry::instance();
+  auto& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramTracksAggregates) {
+  auto& reg = MetricsRegistry::instance();
+  auto& h = reg.histogram("test.hist", 0.0, 10.0, 5);
+  h.reset();
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);  // clamps into the top bin but aggregates keep the raw value
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // First registration fixes the shape; repeat lookups ignore new shapes.
+  EXPECT_EQ(&reg.histogram("test.hist", 0.0, 1.0, 2), &h);
+}
+
+TEST(MetricsRegistryTest, CounterUpdatesAreThreadSafe) {
+  auto& c = MetricsRegistry::instance().counter("test.mt_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("snap.counter").add(42);
+  reg.gauge("snap.gauge").set(1.5);
+  auto& h = reg.histogram("snap.hist", 0.0, 4.0, 4);
+  h.reset();
+  h.observe(0.5);
+  h.observe(3.5);
+
+  const auto doc = parse_json(reg.snapshot_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("snap.counter").number(), 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("snap.gauge").number(), 1.5);
+  const auto& hist = doc.at("histograms").at("snap.hist");
+  EXPECT_DOUBLE_EQ(hist.at("count").number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").number(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("max").number(), 3.5);
+  const auto& bins = hist.at("bins").array();
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_DOUBLE_EQ(bins[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(bins[3].number(), 1.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("reset.counter");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("reset.counter"), &c);
+}
+
+TEST(MetricsRegistryTest, BenchReportAttachKeepsJsonValid) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("attach.counter").add(9);
+
+  const std::string path =
+      (::testing::TempDir().empty() ? std::string("/tmp/") : ::testing::TempDir()) +
+      "harmony_bench_attach_test.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n\"benchmarks\": [{\"name\": \"BM_Fake\", \"real_time\": 1.0}]\n}\n";
+  }
+  ASSERT_TRUE(bench::attach_metrics_snapshot(path));
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = parse_json(buf.str());
+  EXPECT_EQ(doc.at("benchmarks").array().size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      doc.at("harmony_metrics").at("counters").at("attach.counter").number(), 9.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, BenchReportAttachRejectsMissingFile) {
+  EXPECT_FALSE(bench::attach_metrics_snapshot("/nonexistent/dir/report.json"));
+}
+
+}  // namespace
+}  // namespace harmony::obs

@@ -11,31 +11,46 @@
 //     --error F                         profile error injection, e.g. 0.1
 //     --timeline                        print the utilization timeline
 //     --trace                           per-minute cluster snapshots (stderr)
+//     --chrome-trace FILE               write a Chrome trace-event JSON file
+//     --metrics FILE                    write a metrics-registry JSON snapshot
+//     --log-level debug|info|warn|error minimum log severity  (default warn)
+//     --help                            print this help and exit
 //
 // Examples:
 //   harmony_sim                                  # the paper's main setting
 //   harmony_sim --policy isolated
 //   harmony_sim --policy naive --naive-seed 3
 //   harmony_sim --jobs 20 --machines 40 --arrival poisson:120 --timeline
+//   harmony_sim --jobs 20 --machines 40 --chrome-trace out.json --metrics m.json
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/logging.h"
 #include "exp/arrivals.h"
 #include "exp/cluster_sim.h"
 #include "exp/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace harmony;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--policy harmony|isolated|naive] [--jobs N] [--machines M]\n"
                "          [--arrival batch|poisson:SEC|trace:SEC] [--seed S]\n"
                "          [--spill on|off] [--naive-seed S] [--error F]\n"
-               "          [--timeline] [--trace]\n",
+               "          [--timeline] [--trace]\n"
+               "          [--chrome-trace FILE] [--metrics FILE]\n"
+               "          [--log-level debug|info|warn|error] [--help]\n",
                argv0);
+}
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -49,16 +64,21 @@ int main(int argc, char** argv) {
   exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
   std::string policy = "harmony";
   std::string arrival = "batch";
+  std::string chrome_trace_file;
+  std::string metrics_file;
   std::size_t jobs = 80;
   bool timeline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage_error(argv[0], "missing value for " + arg);
       return argv[++i];
     };
-    if (arg == "--policy") {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--policy") {
       policy = next();
     } else if (arg == "--jobs") {
       jobs = std::stoul(next());
@@ -78,10 +98,29 @@ int main(int argc, char** argv) {
       timeline = true;
     } else if (arg == "--trace") {
       config.debug_trace = true;
+    } else if (arg == "--chrome-trace") {
+      chrome_trace_file = next();
+    } else if (arg == "--metrics") {
+      metrics_file = next();
+    } else if (arg == "--log-level") {
+      const std::string level = next();
+      if (level == "debug") {
+        log::set_level(log::Level::kDebug);
+      } else if (level == "info") {
+        log::set_level(log::Level::kInfo);
+      } else if (level == "warn") {
+        log::set_level(log::Level::kWarn);
+      } else if (level == "error") {
+        log::set_level(log::Level::kError);
+      } else {
+        usage_error(argv[0], "unknown log level '" + level + "'");
+      }
     } else {
-      usage(argv[0]);
+      usage_error(argv[0], "unknown option '" + arg + "'");
     }
   }
+
+  if (!chrome_trace_file.empty()) obs::Tracer::instance().set_enabled(true);
 
   if (policy == "isolated") {
     const auto seed = config.seed;
@@ -103,7 +142,7 @@ int main(int argc, char** argv) {
     config.machines = machines;
     config.debug_trace = trace;
   } else if (policy != "harmony") {
-    usage(argv[0]);
+    usage_error(argv[0], "unknown policy '" + policy + "'");
   }
 
   auto catalog = exp::make_catalog();
@@ -123,7 +162,7 @@ int main(int argc, char** argv) {
     arrivals =
         exp::trace_arrivals(catalog.size(), parse_suffixed(arrival, "trace:"), config.seed);
   } else {
-    usage(argv[0]);
+    usage_error(argv[0], "unknown arrival process '" + arrival + "'");
   }
 
   std::printf("policy=%s jobs=%zu machines=%zu arrival=%s spill=%s\n", policy.c_str(),
@@ -154,6 +193,24 @@ int main(int argc, char** argv) {
 
   if (timeline) {
     std::printf("\ntime(s)\tcpu\tnet\n%s", sim.timeline().tsv(40).c_str());
+  }
+
+  if (!chrome_trace_file.empty()) {
+    if (!obs::Tracer::instance().write_chrome_trace_file(chrome_trace_file)) {
+      std::fprintf(stderr, "%s: cannot write trace to %s\n", argv[0],
+                   chrome_trace_file.c_str());
+      return 1;
+    }
+    std::printf("chrome trace        %zu events -> %s\n", obs::Tracer::instance().size(),
+                chrome_trace_file.c_str());
+  }
+  if (!metrics_file.empty()) {
+    if (!obs::MetricsRegistry::instance().write_json_file(metrics_file)) {
+      std::fprintf(stderr, "%s: cannot write metrics to %s\n", argv[0],
+                   metrics_file.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot    -> %s\n", metrics_file.c_str());
   }
   return 0;
 }
