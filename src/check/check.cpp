@@ -1,0 +1,86 @@
+#include "check/check.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace harmony::check {
+
+namespace {
+
+std::string entity_suffix(const FailureReport& r) {
+  std::string out;
+  if (r.job != kNoEntity) out += " job " + std::to_string(r.job);
+  if (r.group != kNoEntity) out += " group " + std::to_string(r.group);
+  if (r.machine != kNoEntity) out += " machine " + std::to_string(r.machine);
+  if (!out.empty()) out = " [" + out.substr(1) + "]";
+  return out;
+}
+
+}  // namespace
+
+std::string FailureReport::to_string() const {
+  std::string out = file + ":" + std::to_string(line) + ": ";
+  if (!validator.empty()) out += "[" + validator + "] ";
+  out += "CHECK(" + expression + ") failed" + entity_suffix(*this);
+  if (!message.empty()) out += ": " + message;
+  return out;
+}
+
+CheckError::CheckError(FailureReport report)
+    : std::logic_error(report.to_string()), report_(std::move(report)) {}
+
+void fail(FailureReport report) {
+  obs::MetricsRegistry::instance().counter("check.failures").add();
+  HLOG(kError) << report.to_string();
+  throw CheckError(std::move(report));
+}
+
+void report_soft_failure(const FailureReport& report) {
+  obs::MetricsRegistry::instance().counter("check.validation_failures").add();
+  HLOG(kError) << report.to_string();
+}
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const FailureReport& f : failures) out += f.to_string() + "\n";
+  return out;
+}
+
+bool ValidationReport::mentions(std::string_view needle) const {
+  for (const FailureReport& f : failures)
+    if (f.message.find(needle) != std::string::npos ||
+        f.expression.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+void Validation::merge(const Validation& other) {
+  report_.checks_run += other.report_.checks_run;
+  report_.failures.insert(report_.failures.end(), other.report_.failures.begin(),
+                          other.report_.failures.end());
+}
+
+namespace detail {
+
+FailureBuilder::FailureBuilder(const char* file, int line, const char* expr, Validation* sink)
+    : sink_(sink) {
+  report_.file = file;
+  report_.line = line;
+  report_.expression = expr;
+  if (sink_ != nullptr) report_.validator = sink_->name();
+}
+
+FailureBuilder::~FailureBuilder() noexcept(false) {
+  report_.message = stream_.str();
+  if (sink_ == nullptr) fail(std::move(report_));  // throws
+  report_soft_failure(report_);
+  sink_->report().failures.push_back(std::move(report_));
+}
+
+bool expect(Validation& v, bool ok) noexcept {
+  ++v.report().checks_run;
+  return ok;
+}
+
+}  // namespace detail
+}  // namespace harmony::check

@@ -1,0 +1,190 @@
+// Invariant-checking layer (machine-checked correctness, not test-by-anecdote).
+//
+// Two usage modes share one report format:
+//
+//  * HARMONY_CHECK(cond) << "context";   — hard invariant. On failure it
+//    builds a structured FailureReport (file:line, stringified expression,
+//    streamed message, optional job/group/machine ids), routes it through the
+//    observability layer (check.failures counter + an error log line) and
+//    throws CheckError. Always compiled in; the passing path is one branch.
+//
+//  * HARMONY_DCHECK(cond) << "context";  — debug-only variant. Identical in
+//    debug builds, compiles to nothing (condition unevaluated) under NDEBUG.
+//    For checks on hot paths — event-loop pops, per-subtask bookkeeping.
+//
+//  * Validation / HARMONY_VALIDATE(v, cond) << "context"; — soft mode for the
+//    deep validators: failures accumulate in a ValidationReport instead of
+//    throwing, so one corrupted index entry does not mask an over-allocated
+//    machine discovered two checks later. Corruption-injection tests assert
+//    against the collected reports.
+//
+// Entity tags attach ids to a report from inside the stream:
+//
+//   HARMONY_CHECK(m <= cap) << check::machine(i) << "over-allocated: " << m;
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace harmony::check {
+
+inline constexpr std::uint32_t kNoEntity = 0xffffffffu;
+
+// Entity tags streamed into a failing check to identify the subject.
+struct JobTag {
+  std::uint32_t id;
+};
+struct GroupTag {
+  std::uint32_t id;
+};
+struct MachineTag {
+  std::uint32_t id;
+};
+inline JobTag job(std::uint64_t id) noexcept { return {static_cast<std::uint32_t>(id)}; }
+inline GroupTag group(std::uint64_t id) noexcept { return {static_cast<std::uint32_t>(id)}; }
+inline MachineTag machine(std::uint64_t id) noexcept {
+  return {static_cast<std::uint32_t>(id)};
+}
+
+struct FailureReport {
+  std::string file;
+  int line = 0;
+  std::string expression;  // stringified failing condition
+  std::string message;     // streamed context
+  std::string validator;   // owning validator name (empty for bare checks)
+  std::uint32_t job = kNoEntity;
+  std::uint32_t group = kNoEntity;
+  std::uint32_t machine = kNoEntity;
+
+  // "file:line: CHECK(expr) failed [job 3 group 1]: message"
+  std::string to_string() const;
+};
+
+// Thrown by HARMONY_CHECK / HARMONY_DCHECK.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(FailureReport report);
+  const FailureReport& report() const noexcept { return report_; }
+
+ private:
+  FailureReport report_;
+};
+
+// Routes the report through obs (check.failures counter, error log line) and
+// throws CheckError. Exposed so non-macro call sites can reuse the plumbing.
+[[noreturn]] void fail(FailureReport report);
+
+// Routes a non-fatal (validator-collected) failure through obs.
+void report_soft_failure(const FailureReport& report);
+
+// ---------------------------------------------------------------------------
+// Soft mode: validators collect failures instead of throwing.
+
+struct ValidationReport {
+  std::vector<FailureReport> failures;
+  std::size_t checks_run = 0;
+
+  bool ok() const noexcept { return failures.empty(); }
+  // One line per failure; "" when ok.
+  std::string to_string() const;
+  // True if any failure message/expression contains `needle` (test helper).
+  bool mentions(std::string_view needle) const;
+};
+
+class Validation {
+ public:
+  explicit Validation(std::string validator_name) : name_(std::move(validator_name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  ValidationReport& report() noexcept { return report_; }
+  const ValidationReport& report() const noexcept { return report_; }
+  bool ok() const noexcept { return report_.ok(); }
+
+  // Merges another validator's results into this one.
+  void merge(const Validation& other);
+
+ private:
+  std::string name_;
+  ValidationReport report_;
+};
+
+namespace detail {
+
+// Builds a FailureReport from streamed values; the destructor delivers it —
+// throwing for hard checks, appending to a Validation for soft checks. Only
+// ever constructed on the failure path, so the throwing destructor cannot
+// run during unwinding of another exception.
+class FailureBuilder {
+ public:
+  FailureBuilder(const char* file, int line, const char* expr)
+      : FailureBuilder(file, line, expr, nullptr) {}
+  FailureBuilder(const char* file, int line, const char* expr, Validation* sink);
+  FailureBuilder(const FailureBuilder&) = delete;
+  FailureBuilder& operator=(const FailureBuilder&) = delete;
+  ~FailureBuilder() noexcept(false);
+
+  FailureBuilder& operator<<(JobTag tag) {
+    report_.job = tag.id;
+    return *this;
+  }
+  FailureBuilder& operator<<(GroupTag tag) {
+    report_.group = tag.id;
+    return *this;
+  }
+  FailureBuilder& operator<<(MachineTag tag) {
+    report_.machine = tag.id;
+    return *this;
+  }
+  template <typename T>
+  FailureBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  FailureReport report_;
+  std::ostringstream stream_;
+  Validation* sink_;  // null = hard check (throw)
+};
+
+// Lower precedence than <<, so `Voidify() & builder << a << b` consumes the
+// whole stream chain and gives the conditional operator a void arm.
+struct Voidify {
+  void operator&(FailureBuilder&) const noexcept {}
+  void operator&(FailureBuilder&&) const noexcept {}
+};
+
+// Soft-mode entry: counts the check, returns whether the failure path runs.
+bool expect(Validation& v, bool ok) noexcept;
+
+}  // namespace detail
+}  // namespace harmony::check
+
+// Hard invariant; always compiled. Streams context: HARMONY_CHECK(x) << "...".
+#define HARMONY_CHECK(cond)                               \
+  (cond) ? (void)0                                        \
+         : ::harmony::check::detail::Voidify() &          \
+               ::harmony::check::detail::FailureBuilder(__FILE__, __LINE__, #cond)
+
+// Debug-only invariant; the condition is not evaluated under NDEBUG.
+#ifdef NDEBUG
+#define HARMONY_DCHECK(cond)                              \
+  (true || (cond)) ? (void)0                              \
+                   : ::harmony::check::detail::Voidify() &\
+                         ::harmony::check::detail::FailureBuilder(__FILE__, __LINE__, #cond)
+#else
+#define HARMONY_DCHECK(cond) HARMONY_CHECK(cond)
+#endif
+
+// Soft check inside a validator: records into `validation` instead of
+// throwing. Evaluates `cond` exactly once.
+#define HARMONY_VALIDATE(validation, cond)                \
+  ::harmony::check::detail::expect((validation), (cond))  \
+      ? (void)0                                           \
+      : ::harmony::check::detail::Voidify() &             \
+            ::harmony::check::detail::FailureBuilder(__FILE__, __LINE__, #cond, &(validation))

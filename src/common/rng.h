@@ -73,7 +73,9 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  // Always seeded by the constructor; this class is the sanctioned
+  // randomness facade.
+  std::mt19937_64 engine_;  // lint: allow-nondeterminism
 };
 
 }  // namespace harmony

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "exp/cluster_sim_internal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,83 +50,8 @@ ClusterSimConfig ClusterSimConfig::naive(std::uint64_t grouping_seed) {
 ClusterSimConfig ClusterSimConfig::harmony() { return ClusterSimConfig{}; }
 
 // ---------------------------------------------------------------------------
-// Internal structures
-
-struct ClusterSim::SimJob {
-  WorkloadSpec spec;
-  bool arrived = false;  // submission event has fired
-  core::JobState state = core::JobState::kWaiting;
-  std::size_t iterations_done = 0;
-  std::size_t profile_iterations = 0;
-  std::size_t iters_in_group = 0;
-  double submit_time = 0.0;
-  double finish_time = -1.0;
-
-  GroupRun* group = nullptr;
-  GroupRun* last_group = nullptr;  // group the job most recently left
-  bool in_flight = false;          // an iteration's subtasks are in the pipeline
-  double alpha = 0.0;
-  bool model_spilled = false;
-  double reload_ready_at = 0.0;
-  double iter_start_time = 0.0;
-  // Systematic profile-error factors for Fig. 13a (1.0 = exact).
-  double err_cpu = 1.0;
-  double err_net = 1.0;
-  Rng noise;
-
-  // Index memberships maintained by ClusterSim::reindex_job. They mirror the
-  // predicates the event handlers used to evaluate with whole-pool scans.
-  bool in_waiting_index = false;
-  bool in_idle_index = false;
-  bool counted_profiling = false;
-  bool counted_paused = false;
-  bool counted_profiled_ungrouped = false;
-  bool counted_finished = false;
-
-  explicit SimJob(Rng rng) : noise(rng) {}
-};
-
-struct ClusterSim::GroupRun {
-  std::size_t id = 0;
-  std::vector<core::JobId> members;  // includes profiling visitors
-  std::size_t machines = 0;
-  bool stopping = false;
-  bool dissolved = false;
-  bool oom_recorded = false;
-  std::size_t active_members = 0;  // jobs currently cycling through subtasks
-
-  std::unique_ptr<sim::FifoResource> cpu_fifo;
-  std::unique_ptr<sim::FifoResource> net_fifo;
-  std::unique_ptr<sim::SharedResource> cpu_shared;
-  std::unique_ptr<sim::SharedResource> net_shared;
-
-  // Group-level spill control (§IV-C): one hill-climbed occupancy target per
-  // group; every member's α is the smallest ratio fitting that target, so
-  // ratios stay per-job while the climb is coordinated.
-  std::optional<core::AlphaController> occ_ctl;
-  WindowedAverage recent_walls{8};
-  std::size_t iters_since_alpha_update = 0;
-
-  // Utilization sampling state.
-  double last_cpu_busy = 0.0;
-  double last_net_busy = 0.0;
-
-  // Prediction bookkeeping (Fig. 13b).
-  double predicted_titr = 0.0;
-  core::Utilization predicted_util;
-  double predict_start = 0.0;
-  double cpu_busy_at_predict = 0.0;
-  double net_busy_at_predict = 0.0;
-  SampleSet actual_iteration_times;
-
-  double cpu_busy() const {
-    return cpu_fifo ? cpu_fifo->busy_time() : cpu_shared->work_completed();
-  }
-  double net_busy() const {
-    return net_fifo ? net_fifo->busy_time() : net_shared->work_completed();
-  }
-};
-
+// Internal structures (SimJob / GroupRun) live in cluster_sim_internal.h so
+// the validators in cluster_sim_validate.cpp can inspect them.
 // ---------------------------------------------------------------------------
 
 ClusterSim::ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> workload,
@@ -140,8 +66,8 @@ ClusterSim::ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> worklo
       naive_(baselines::NaiveScheduler::Params{config.naive_jobs_per_group}),
       profiler_(core::Profiler::Params{0.3, config.profiling_iterations}),
       rng_(config.seed),
-      timeline_(config.util_sample_window_sec),
-      free_machines_(config.machines) {
+      free_machines_(config.machines),
+      timeline_(config.util_sample_window_sec) {
   if (arrivals_.size() != workload.size())
     throw std::invalid_argument("ClusterSim: arrivals/workload size mismatch");
   jobs_.reserve(workload.size());
@@ -958,6 +884,7 @@ void ClusterSim::begin_pending(core::ScheduleDecision decision,
   for (GroupRun* g : involved)
     if (!g->dissolved && g->active_members == 0) dissolve_group(*g);
   try_apply_pending();
+  maybe_validate();
 }
 
 void ClusterSim::try_apply_pending() {
@@ -1086,6 +1013,7 @@ void ClusterSim::on_job_profiled(SimJob& job) {
         settle_group_prediction(*target);
         place_job_in_group(job, *target, /*with_migration_delay=*/true);
         record_group_prediction(*target);
+        maybe_validate();
       }
       return;
     }
@@ -1164,6 +1092,7 @@ void ClusterSim::apply_decision(const core::ScheduleDecision& decision,
     for (SimJob* job : refused) place_fallback_isolated(*job);
   }
   maybe_start_profiling();
+  maybe_validate();
 }
 
 void ClusterSim::on_job_finished(SimJob& job) {
@@ -1247,6 +1176,7 @@ void ClusterSim::on_job_finished(SimJob& job) {
                                sim_.now() * kTraceUs, job.spec.id,
                                static_cast<std::uint32_t>(target->id));
         record_group_prediction(*target);
+        maybe_validate();
       }
       break;
     }
@@ -1453,6 +1383,7 @@ RunSummary ClusterSim::run() {
 
   for (auto& g : groups_)
     if (!g->dissolved) settle_group_prediction(*g);
+  maybe_validate();
 
   double first_arrival = arrivals_.empty() ? 0.0 : arrivals_.front();
   for (double a : arrivals_) first_arrival = std::min(first_arrival, a);

@@ -22,6 +22,7 @@
 
 #include "baselines/isolated.h"
 #include "baselines/naive.h"
+#include "check/check.h"
 #include "cluster/machine.h"
 #include "cluster/memory_model.h"
 #include "common/histogram.h"
@@ -84,6 +85,12 @@ struct ClusterSimConfig {
 
   // Prints a one-line cluster snapshot at every utilization sample (stderr).
   bool debug_trace = false;
+
+  // Runs the deep invariant validators (validate_state) at every regroup
+  // event and at the end of the run, throwing check::CheckError on the first
+  // corrupt state. Validation is read-only and consumes no randomness, so
+  // results are bit-identical with it on or off.
+  bool validate = false;
 
   // Profiling iterations before a job is schedulable.
   std::size_t profiling_iterations = 3;
@@ -148,6 +155,33 @@ class ClusterSim {
 
   // One-line-per-entity dump of job and group state; debugging/ops aid.
   std::string debug_dump() const;
+
+  // Deep validators (src/check): cross-check every piece of incrementally
+  // maintained state against a brute-force recomputation — machine
+  // conservation across groups and the free pool, job-state indexes vs a
+  // from-scratch rebuild, job<->group membership, spill ratios vs the cost
+  // model's feasibility bound, pending-regroup bookkeeping, and the event
+  // heap. Read-only; safe to call at any event boundary.
+  check::ValidationReport validate_state() const;
+
+  // Number of validate_state passes run by the --validate hook.
+  std::size_t validations_run() const noexcept { return validations_run_; }
+
+  // Test-only corruption hooks: each breaks exactly one maintained invariant
+  // so tests can prove the matching validator detects it with a useful
+  // report.
+  enum class Corruption {
+    kBadIndexEntry,         // foreign id inserted into the waiting index
+    kOverAllocatedMachine,  // a group claims a machine the free pool still owns
+    kSkewedSpillAlpha,      // a job's disk ratio pushed outside [0, 1]
+    kBrokenMembership,      // group drops a member that still points at it
+  };
+  void corrupt_for_test(Corruption kind);
+
+  // Schedules corrupt_for_test(kind) followed by an immediate validation pass
+  // at simulated time `t` (call before run()). With config.validate set, the
+  // run throws check::CheckError the moment the corruption lands.
+  void schedule_corruption_for_test(double t, Corruption kind);
 
  private:
   struct SimJob;
@@ -272,6 +306,10 @@ class ClusterSim {
   double sched_wall_seconds_ = 0.0;
   std::size_t sched_invocations_ = 0;
   bool initial_schedule_done_ = false;
+  std::size_t validations_run_ = 0;
+
+  // --validate hook: runs validate_state() and throws on the first failure.
+  void maybe_validate();
 
   // In-flight reschedule. Migration is per job: target groups materialize as
   // soon as their machines free up, and each job joins its target the moment

@@ -1,0 +1,92 @@
+// Definitions of ClusterSim's private per-job / per-group runtime records,
+// shared between the event-loop translation unit (cluster_sim.cpp) and the
+// deep invariant validators (cluster_sim_validate.cpp). Not part of the
+// public surface — include only from exp/ implementation files.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "exp/cluster_sim.h"
+#include "sim/resource.h"
+
+namespace harmony::exp {
+
+struct ClusterSim::SimJob {
+  WorkloadSpec spec;
+  bool arrived = false;  // submission event has fired
+  core::JobState state = core::JobState::kWaiting;
+  std::size_t iterations_done = 0;
+  std::size_t profile_iterations = 0;
+  std::size_t iters_in_group = 0;
+  double submit_time = 0.0;
+  double finish_time = -1.0;
+
+  GroupRun* group = nullptr;
+  GroupRun* last_group = nullptr;  // group the job most recently left
+  bool in_flight = false;          // an iteration's subtasks are in the pipeline
+  double alpha = 0.0;
+  bool model_spilled = false;
+  double reload_ready_at = 0.0;
+  double iter_start_time = 0.0;
+  // Systematic profile-error factors for Fig. 13a (1.0 = exact).
+  double err_cpu = 1.0;
+  double err_net = 1.0;
+  Rng noise;
+
+  // Index memberships maintained by ClusterSim::reindex_job. They mirror the
+  // predicates the event handlers used to evaluate with whole-pool scans.
+  bool in_waiting_index = false;
+  bool in_idle_index = false;
+  bool counted_profiling = false;
+  bool counted_paused = false;
+  bool counted_profiled_ungrouped = false;
+  bool counted_finished = false;
+
+  explicit SimJob(Rng rng) : noise(rng) {}
+};
+
+struct ClusterSim::GroupRun {
+  std::size_t id = 0;
+  std::vector<core::JobId> members;  // includes profiling visitors
+  std::size_t machines = 0;
+  bool stopping = false;
+  bool dissolved = false;
+  bool oom_recorded = false;
+  std::size_t active_members = 0;  // jobs currently cycling through subtasks
+
+  std::unique_ptr<sim::FifoResource> cpu_fifo;
+  std::unique_ptr<sim::FifoResource> net_fifo;
+  std::unique_ptr<sim::SharedResource> cpu_shared;
+  std::unique_ptr<sim::SharedResource> net_shared;
+
+  // Group-level spill control (§IV-C): one hill-climbed occupancy target per
+  // group; every member's α is the smallest ratio fitting that target, so
+  // ratios stay per-job while the climb is coordinated.
+  std::optional<core::AlphaController> occ_ctl;
+  WindowedAverage recent_walls{8};
+  std::size_t iters_since_alpha_update = 0;
+
+  // Utilization sampling state.
+  double last_cpu_busy = 0.0;
+  double last_net_busy = 0.0;
+
+  // Prediction bookkeeping (Fig. 13b).
+  double predicted_titr = 0.0;
+  core::Utilization predicted_util;
+  double predict_start = 0.0;
+  double cpu_busy_at_predict = 0.0;
+  double net_busy_at_predict = 0.0;
+  SampleSet actual_iteration_times;
+
+  double cpu_busy() const {
+    return cpu_fifo ? cpu_fifo->busy_time() : cpu_shared->work_completed();
+  }
+  double net_busy() const {
+    return net_fifo ? net_fifo->busy_time() : net_shared->work_completed();
+  }
+};
+
+}  // namespace harmony::exp

@@ -1,0 +1,287 @@
+// Deep invariant validators for ClusterSim (--validate / corruption tests).
+//
+// Every validator cross-checks incrementally maintained state against a
+// brute-force recomputation from first principles, using the same predicates
+// the incremental code keys off. All checks are read-only and consume no
+// randomness, so running them cannot perturb a simulation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exp/cluster_sim_internal.h"
+
+namespace harmony::exp {
+
+namespace {
+
+// Mirrors the member-state transitions: a job inside a group is either
+// running, still profiling, or profiled-and-awaiting the initial schedule
+// (bootstrap groups keep iterating, §IV-B1).
+bool groupable_state(core::JobState s) noexcept {
+  return s == core::JobState::kRunning || s == core::JobState::kProfiling ||
+         s == core::JobState::kProfiled;
+}
+
+}  // namespace
+
+check::ValidationReport ClusterSim::validate_state() const {
+  check::Validation v("cluster_sim");
+
+  // -- machine conservation -------------------------------------------------
+  // Σ machines over non-dissolved groups + free pool == cluster size.
+  // Stopping groups keep their machines until the drain completes; dissolve
+  // is the only release point and zeroes the group's count.
+  std::size_t held = 0;
+  for (const auto& g : groups_) {
+    if (g->dissolved) {
+      HARMONY_VALIDATE(v, g->machines == 0)
+          << check::group(g->id) << "dissolved group still holds " << g->machines
+          << " machines";
+      continue;
+    }
+    HARMONY_VALIDATE(v, g->machines >= 1)
+        << check::group(g->id) << "live group holds zero machines";
+    held += g->machines;
+  }
+  HARMONY_VALIDATE(v, held + free_machines_ == config_.machines)
+      << "machine conservation broken: groups hold " << held << " + " << free_machines_
+      << " free != cluster size " << config_.machines
+      << " (a machine is over-allocated or leaked)";
+
+  // -- group <-> job membership ---------------------------------------------
+  for (const auto& g : groups_) {
+    if (g->dissolved) continue;
+    std::unordered_set<core::JobId> seen;
+    for (core::JobId id : g->members) {
+      HARMONY_VALIDATE(v, id < jobs_.size())
+          << check::group(g->id) << "member id " << id << " out of range";
+      if (id >= jobs_.size()) continue;
+      HARMONY_VALIDATE(v, seen.insert(id).second)
+          << check::group(g->id) << check::job(id) << "job listed twice in one group";
+      const SimJob& j = *jobs_[id];
+      HARMONY_VALIDATE(v, j.group == g.get())
+          << check::group(g->id) << check::job(id)
+          << "membership not bidirectional: group lists the job but the job points at "
+          << (j.group ? "group " + std::to_string(j.group->id) : std::string("no group"));
+      HARMONY_VALIDATE(v, groupable_state(j.state))
+          << check::group(g->id) << check::job(id) << "grouped job in state "
+          << core::to_string(j.state);
+    }
+    HARMONY_VALIDATE(v, g->active_members == g->members.size())
+        << check::group(g->id) << "active_members (" << g->active_members
+        << ") != member count (" << g->members.size() << ")";
+  }
+  for (const auto& j : jobs_) {
+    if (j->group == nullptr) continue;
+    HARMONY_VALIDATE(v, !j->group->dissolved)
+        << check::job(j->spec.id) << check::group(j->group->id)
+        << "job points at a dissolved group";
+    const auto& members = j->group->members;
+    HARMONY_VALIDATE(v, std::count(members.begin(), members.end(), j->spec.id) == 1)
+        << check::job(j->spec.id) << check::group(j->group->id)
+        << "membership not bidirectional: job points at a group that does not list it";
+  }
+
+  // -- job-state sanity -----------------------------------------------------
+  for (const auto& j : jobs_) {
+    HARMONY_VALIDATE(v, !(j->in_flight && j->group == nullptr))
+        << check::job(j->spec.id) << "in-flight iteration with no group";
+    if (j->state == core::JobState::kFinished) {
+      HARMONY_VALIDATE(v, j->group == nullptr)
+          << check::job(j->spec.id) << "finished job still grouped";
+      HARMONY_VALIDATE(v, j->finish_time >= j->submit_time)
+          << check::job(j->spec.id) << "finish time " << j->finish_time
+          << " precedes submit time " << j->submit_time;
+    }
+    HARMONY_VALIDATE(v, j->alpha >= 0.0 && j->alpha <= 1.0)
+        << check::job(j->spec.id) << "disk ratio out of range: alpha = " << j->alpha
+        << " (skewed spill share)";
+    if (!config_.spill_enabled)
+      HARMONY_VALIDATE(v, j->alpha == 0.0)
+          << check::job(j->spec.id) << "spilling disabled but alpha = " << j->alpha;
+    if (j->model_spilled)
+      HARMONY_VALIDATE(v, j->alpha >= 0.999)
+          << check::job(j->spec.id) << "model spill active at alpha = " << j->alpha
+          << " (input data must be fully spilled first)";
+  }
+
+  // -- spill shares vs the cost model's feasibility bound -------------------
+  // refresh_alpha picks the smallest α whose resident footprint fits the
+  // group's occupancy target × per-job memory share; when nothing fits it
+  // pins α = 1 and either spills the model or (resident ≤ gc_threshold ×
+  // share) runs at the GC knee. Either way a non-model-spilled member's
+  // resident bytes never exceed max(target, gc_threshold) × share. Shares
+  // only grow between refreshes (members leaving), so the bound holds with
+  // current membership.
+  if (config_.spill_enabled && !config_.fixed_alpha) {
+    for (const auto& g : groups_) {
+      if (g->dissolved || g->members.empty()) continue;
+      const double target =
+          g->occ_ctl ? g->occ_ctl->alpha() : config_.alpha_floor_occupancy;
+      const double bound_occ = std::max(target, config_.memory_params.gc_threshold);
+      const double share = config_.machine_spec.memory_bytes /
+                           static_cast<double>(g->members.size());
+      for (core::JobId id : g->members) {
+        const SimJob& j = *jobs_[id];
+        if (j.model_spilled) continue;
+        const double resident = job_resident_bytes(j, g->machines);
+        HARMONY_VALIDATE(v, resident <= bound_occ * share * (1.0 + 1e-9))
+            << check::job(id) << check::group(g->id) << "resident bytes " << resident
+            << " exceed the occupancy bound " << bound_occ << " x share " << share
+            << " at alpha = " << j.alpha << " (byte accounting skewed vs alpha shares)";
+      }
+    }
+  }
+
+  // -- job-state indexes vs a from-scratch rebuild --------------------------
+  std::vector<core::JobId> want_waiting;
+  std::vector<core::JobId> want_idle;
+  std::size_t want_profiling = 0;
+  std::size_t want_paused = 0;
+  std::size_t want_profiled_ungrouped = 0;
+  std::size_t finished = 0;
+  for (const auto& j : jobs_) {  // ids are pool indices, so this is id-sorted
+    if (j->arrived && j->state == core::JobState::kWaiting)
+      want_waiting.push_back(j->spec.id);
+    if (j->state == core::JobState::kProfiled || j->state == core::JobState::kPaused)
+      want_idle.push_back(j->spec.id);
+    want_profiling += j->state == core::JobState::kProfiling;
+    want_paused += j->state == core::JobState::kPaused;
+    want_profiled_ungrouped +=
+        j->state == core::JobState::kProfiled && j->group == nullptr;
+    finished += j->state == core::JobState::kFinished;
+  }
+  HARMONY_VALIDATE(v, waiting_ids_ == want_waiting)
+      << "waiting index (" << waiting_ids_.size()
+      << " ids) diverges from a from-scratch rebuild (" << want_waiting.size()
+      << " ids): bad index entry";
+  HARMONY_VALIDATE(v, idle_ids_ == want_idle)
+      << "idle index (" << idle_ids_.size()
+      << " ids) diverges from a from-scratch rebuild (" << want_idle.size()
+      << " ids): bad index entry";
+  HARMONY_VALIDATE(v, profiling_count_ == want_profiling)
+      << "profiling counter " << profiling_count_ << " != recount " << want_profiling;
+  HARMONY_VALIDATE(v, paused_count_ == want_paused)
+      << "paused counter " << paused_count_ << " != recount " << want_paused;
+  HARMONY_VALIDATE(v, profiled_ungrouped_count_ == want_profiled_ungrouped)
+      << "profiled-ungrouped counter " << profiled_ungrouped_count_ << " != recount "
+      << want_profiled_ungrouped;
+  HARMONY_VALIDATE(v, unfinished_count_ == jobs_.size() - finished)
+      << "unfinished counter " << unfinished_count_ << " != recount "
+      << (jobs_.size() - finished);
+
+  // -- active-groups cache --------------------------------------------------
+  // The storage may lag (dissolved entries compact lazily) but must hold
+  // every live group exactly once and only pointers groups_ owns.
+  {
+    std::unordered_map<const GroupRun*, std::size_t> storage_count;
+    for (const GroupRun* g : active_groups_storage_) ++storage_count[g];
+    std::unordered_set<const GroupRun*> owned;
+    for (const auto& g : groups_) owned.insert(g.get());
+    for (const auto& [g, n] : storage_count) {
+      HARMONY_VALIDATE(v, owned.contains(g))
+          << "active-groups cache holds a pointer groups_ does not own";
+      HARMONY_VALIDATE(v, n == 1)
+          << check::group(g->id) << "active-groups cache lists a group " << n << " times";
+    }
+    for (const auto& g : groups_)
+      if (!g->dissolved)
+        HARMONY_VALIDATE(v, storage_count.contains(g.get()))
+            << check::group(g->id) << "live group missing from the active-groups cache";
+  }
+
+  // -- pending regroup ------------------------------------------------------
+  if (pending_regroup_) {
+    const PendingRegroup& pr = *pending_regroup_;
+    const std::size_t plans = pr.decision.groups.size();
+    HARMONY_VALIDATE(v, pr.targets.size() == plans && pr.resolved.size() == plans)
+        << "pending regroup arrays out of step with the decision (" << pr.targets.size()
+        << "/" << pr.resolved.size() << " vs " << plans << " plans)";
+    for (std::size_t i = 0; i < std::min(plans, pr.targets.size()); ++i)
+      if (pr.targets[i] != nullptr)
+        HARMONY_VALIDATE(v, i < pr.resolved.size() && pr.resolved[i])
+            << check::group(pr.targets[i]->id)
+            << "materialized target group not marked resolved (plan " << i << ")";
+    for (const auto& [id, plan] : pr.job_plan)
+      HARMONY_VALIDATE(v, plan < plans)
+          << check::job(id) << "pending plan index " << plan << " out of range";
+    HARMONY_VALIDATE(v, pr.reserved_machines() <= config_.machines)
+        << "pending regroup reserves " << pr.reserved_machines()
+        << " machines on a cluster of " << config_.machines;
+    for (const GroupRun* g : pr.involved)
+      HARMONY_VALIDATE(v, g->stopping || g->dissolved)
+          << check::group(g->id) << "group involved in a regroup is not draining";
+  }
+
+  // -- event heap -----------------------------------------------------------
+  sim_.validate(v);
+
+  return v.report();
+}
+
+void ClusterSim::maybe_validate() {
+  if (!config_.validate) return;
+  ++validations_run_;
+  check::ValidationReport report = validate_state();
+  if (report.ok()) return;
+  // Diagnostics go to stderr so --validate cannot perturb golden stdout.
+  std::fprintf(stderr, "harmony-sim: state validation failed at t=%.3f:\n%s",
+               sim_.now(), report.to_string().c_str());
+  check::fail(std::move(report.failures.front()));
+}
+
+void ClusterSim::corrupt_for_test(Corruption kind) {
+  switch (kind) {
+    case Corruption::kBadIndexEntry: {
+      // Insert a job that is not waiting into the waiting index.
+      for (const auto& j : jobs_) {
+        if (j->in_waiting_index) continue;
+        const auto it =
+            std::lower_bound(waiting_ids_.begin(), waiting_ids_.end(), j->spec.id);
+        waiting_ids_.insert(it, j->spec.id);
+        return;
+      }
+      break;
+    }
+    case Corruption::kOverAllocatedMachine: {
+      // A group grabs a machine the free pool never released.
+      for (const auto& g : groups_)
+        if (!g->dissolved) {
+          ++g->machines;
+          return;
+        }
+      break;
+    }
+    case Corruption::kSkewedSpillAlpha: {
+      for (const auto& j : jobs_)
+        if (j->group != nullptr) {
+          j->alpha = 1.5;
+          return;
+        }
+      break;
+    }
+    case Corruption::kBrokenMembership: {
+      // Group forgets a member that still points at it.
+      for (const auto& g : groups_)
+        if (!g->dissolved && !g->members.empty()) {
+          g->members.erase(g->members.begin());
+          return;
+        }
+      break;
+    }
+  }
+  throw std::logic_error("corrupt_for_test: no state eligible for this corruption");
+}
+
+void ClusterSim::schedule_corruption_for_test(double t, Corruption kind) {
+  sim_.schedule_at(t, [this, kind] {
+    corrupt_for_test(kind);
+    maybe_validate();
+  });
+}
+
+}  // namespace harmony::exp

@@ -40,6 +40,12 @@ struct LocalRuntime::JobRun {
   bool paused = false;
   bool finished = false;
 
+  // Live mirrors of the result fields another thread may poll mid-run via
+  // progress(); `result` itself is only stable once the job is quiescent.
+  std::atomic<std::size_t> epochs_live{0};
+  std::atomic<std::size_t> restarts_live{0};
+  std::atomic<bool> failed_live{false};
+
   // Fault-tolerance state.
   std::atomic<bool> fail_next{false};   // next COMP throws (injection)
   std::atomic<bool> failure_seen{false};  // a subtask of this job threw
@@ -212,6 +218,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
       start_iteration(jr);
     } else {
       jr.result.failed = true;
+      jr.failed_live.store(true, std::memory_order_relaxed);
       {
         std::scoped_lock lock(mu_);
         jr.result.failure_message = jr.failure_message;
@@ -231,6 +238,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
   const bool epoch_end = jr.result.iterations % jr.config.batches_per_epoch == 0;
   if (epoch_end) {
     ++jr.result.epochs;
+    jr.epochs_live.store(jr.result.epochs, std::memory_order_relaxed);
     const double loss = jr.ps->loss();
     jr.result.epoch_losses.push_back(loss);
     jr.result.final_loss = loss;
@@ -279,6 +287,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
 bool LocalRuntime::try_restart(JobRun& jr) {
   if (jr.result.restarts >= jr.config.max_restarts) return false;
   ++jr.result.restarts;
+  jr.restarts_live.store(jr.result.restarts, std::memory_order_relaxed);
   obs::MetricsRegistry::instance().counter("runtime.restarts").add();
   if (jr.has_checkpoint) {
     const auto model = checkpoints_->load(jr.id);
@@ -296,6 +305,7 @@ bool LocalRuntime::try_restart(JobRun& jr) {
     jr.result.epochs = 0;
     jr.result.epoch_losses.clear();
   }
+  jr.epochs_live.store(jr.result.epochs, std::memory_order_relaxed);
   return true;
 }
 
@@ -335,6 +345,15 @@ void LocalRuntime::resume(JobId job) {
     jr.ps->shard(s).load(std::span<const double>(model).subspan(r.begin, r.size()));
   }
   start_iteration(jr);
+}
+
+LocalRuntime::JobProgress LocalRuntime::progress(JobId job) const {
+  const JobRun& jr = *jobs_.at(job);
+  JobProgress p;
+  p.epochs = jr.epochs_live.load(std::memory_order_relaxed);
+  p.restarts = jr.restarts_live.load(std::memory_order_relaxed);
+  p.failed = jr.failed_live.load(std::memory_order_relaxed);
+  return p;
 }
 
 const RuntimeJobResult& LocalRuntime::result(JobId job) const {

@@ -109,6 +109,18 @@ class LocalRuntime {
   // are unaffected either way (§VI).
   void inject_failure(JobId job);
 
+  // Thread-safe snapshot of a running job's progress. Unlike result(), this
+  // is safe to poll from another thread while the job is actively iterating
+  // (e.g. to wait for an epoch or a restart before injecting a failure).
+  struct JobProgress {
+    std::size_t epochs = 0;
+    std::size_t restarts = 0;
+    bool failed = false;
+  };
+  JobProgress progress(JobId job) const;
+
+  // Stable only while the job is quiescent: after run()/wait_idle() returns
+  // or while the job is paused. Poll progress() instead mid-run.
   const RuntimeJobResult& result(JobId job) const;
   const Profiler& profiler() const noexcept { return profiler_; }
   std::size_t machines() const noexcept { return executors_.size(); }

@@ -75,6 +75,10 @@ void BlockManager::set_alpha(double target_alpha) {
     reg.counter("spill.block_bytes_reloaded").add(static_cast<std::uint64_t>(reloaded));
 }
 
+void BlockManager::corrupt_block_for_test(std::size_t index) {
+  blocks_.at(index).on_disk = !blocks_.at(index).on_disk;
+}
+
 SpillCosts SpillCostModel::costs(double input_bytes, double model_bytes, double alpha,
                                  std::size_t machines,
                                  const cluster::MachineSpec& spec) const {

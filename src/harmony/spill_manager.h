@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/check.h"
 #include "cluster/machine.h"
 #include "cluster/memory_model.h"
 
@@ -45,7 +46,14 @@ class BlockManager {
   // stable across adjustments.
   void set_alpha(double target_alpha);
 
+  // Test-only corruption hook: flips one block's tier without touching the
+  // ledger-facing accounting, so validate_block_manager can demonstrate
+  // detection of a skewed byte count / broken spill order.
+  void corrupt_block_for_test(std::size_t index);
+
  private:
+  friend void validate_block_manager(const BlockManager&, check::Validation&);
+
   struct Block {
     double bytes;
     bool on_disk;

@@ -42,13 +42,16 @@ void DiskSpillStore::spill(JobId job, std::size_t block, std::span<const double>
   }
 
   const auto payload = static_cast<std::uint64_t>(data.size() * sizeof(double));
-  auto [it, inserted] = sizes_.try_emplace(key, payload);
-  if (!inserted) {
-    bytes_on_disk_ -= it->second;
-    it->second = payload;
+  {
+    std::scoped_lock lock(mu_);
+    auto [it, inserted] = sizes_.try_emplace(key, payload);
+    if (!inserted) {
+      bytes_on_disk_ -= it->second;
+      it->second = payload;
+    }
+    bytes_on_disk_ += payload;
+    spilled_total_ += payload;
   }
-  bytes_on_disk_ += payload;
-  spilled_total_ += payload;
   obs::MetricsRegistry::instance().counter("spill.disk_bytes_written").add(payload);
   if (obs::Tracer::enabled())
     obs::Tracer::instant(obs::EventKind::kSpill, obs::ClockDomain::kWall,
@@ -58,9 +61,11 @@ void DiskSpillStore::spill(JobId job, std::size_t block, std::span<const double>
 
 std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
   const Key key{job, block};
-  auto it = sizes_.find(key);
-  if (it == sizes_.end())
-    throw std::runtime_error("DiskSpillStore: block was never spilled");
+  {
+    std::scoped_lock lock(mu_);
+    if (!sizes_.contains(key))
+      throw std::runtime_error("DiskSpillStore: block was never spilled");
+  }
 
   const auto path = path_for(key);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
@@ -76,7 +81,10 @@ std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
     throw std::runtime_error("DiskSpillStore: block header mismatch");
   auto data = reader.get_doubles();
   const auto payload = static_cast<std::uint64_t>(data.size() * sizeof(double));
-  reloaded_total_ += payload;
+  {
+    std::scoped_lock lock(mu_);
+    reloaded_total_ += payload;
+  }
   obs::MetricsRegistry::instance().counter("spill.disk_bytes_reloaded").add(payload);
   if (obs::Tracer::enabled())
     obs::Tracer::instant(obs::EventKind::kReload, obs::ClockDomain::kWall,
@@ -86,30 +94,59 @@ std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
 }
 
 bool DiskSpillStore::contains(JobId job, std::size_t block) const {
+  std::scoped_lock lock(mu_);
   return sizes_.contains(Key{job, block});
 }
 
 void DiskSpillStore::remove(JobId job, std::size_t block) {
   const Key key{job, block};
-  auto it = sizes_.find(key);
-  if (it == sizes_.end()) return;
-  bytes_on_disk_ -= it->second;
-  sizes_.erase(it);
+  {
+    std::scoped_lock lock(mu_);
+    auto it = sizes_.find(key);
+    if (it == sizes_.end()) return;
+    bytes_on_disk_ -= it->second;
+    sizes_.erase(it);
+  }
   std::error_code ec;
   std::filesystem::remove(path_for(key), ec);
 }
 
 void DiskSpillStore::remove_job(JobId job) {
-  for (auto it = sizes_.begin(); it != sizes_.end();) {
-    if (it->first.job == job) {
-      bytes_on_disk_ -= it->second;
-      std::error_code ec;
-      std::filesystem::remove(path_for(it->first), ec);
-      it = sizes_.erase(it);
-    } else {
-      ++it;
+  std::vector<Key> dropped;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto it = sizes_.begin(); it != sizes_.end();) {
+      if (it->first.job == job) {
+        bytes_on_disk_ -= it->second;
+        dropped.push_back(it->first);
+        it = sizes_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  std::error_code ec;
+  for (const Key& key : dropped) std::filesystem::remove(path_for(key), ec);
+}
+
+std::size_t DiskSpillStore::blocks_on_disk() const {
+  std::scoped_lock lock(mu_);
+  return sizes_.size();
+}
+
+std::uint64_t DiskSpillStore::bytes_on_disk() const {
+  std::scoped_lock lock(mu_);
+  return bytes_on_disk_;
+}
+
+std::uint64_t DiskSpillStore::bytes_spilled_total() const {
+  std::scoped_lock lock(mu_);
+  return spilled_total_;
+}
+
+std::uint64_t DiskSpillStore::bytes_reloaded_total() const {
+  std::scoped_lock lock(mu_);
+  return reloaded_total_;
 }
 
 }  // namespace harmony::core

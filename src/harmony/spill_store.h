@@ -5,14 +5,21 @@
 // in-memory copy, and deserializing it back on reload. Files use the same
 // wire format as the PS (ps::ByteWriter/ByteReader), so the deserialization
 // cost the SpillCostModel charges is the real code path's cost.
+//
+// Thread-safe: spill/reload run on executor threads (background reload
+// overlaps other jobs' COMP subtasks), so the ledger is guarded by a mutex.
+// Distinct blocks never share a file, so the I/O itself needs no lock —
+// only the (job, block) -> size ledger and the byte totals do.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "check/check.h"
 #include "harmony/job.h"
 
 namespace harmony::core {
@@ -40,14 +47,16 @@ class DiskSpillStore {
   // with its input re-read from the original source).
   void remove_job(JobId job);
 
-  std::size_t blocks_on_disk() const noexcept { return sizes_.size(); }
-  std::uint64_t bytes_on_disk() const noexcept { return bytes_on_disk_; }
-  std::uint64_t bytes_spilled_total() const noexcept { return spilled_total_; }
-  std::uint64_t bytes_reloaded_total() const noexcept { return reloaded_total_; }
+  std::size_t blocks_on_disk() const;
+  std::uint64_t bytes_on_disk() const;
+  std::uint64_t bytes_spilled_total() const;
+  std::uint64_t bytes_reloaded_total() const;
 
   const std::filesystem::path& dir() const noexcept { return dir_; }
 
  private:
+  friend void validate_spill_store(const DiskSpillStore&, check::Validation&);
+
   struct Key {
     JobId job;
     std::size_t block;
@@ -62,6 +71,7 @@ class DiskSpillStore {
   std::filesystem::path path_for(const Key& key) const;
 
   std::filesystem::path dir_;
+  mutable std::mutex mu_;  // guards the ledger below
   std::unordered_map<Key, std::uint64_t, KeyHash> sizes_;  // payload bytes per block
   std::uint64_t bytes_on_disk_ = 0;
   std::uint64_t spilled_total_ = 0;

@@ -1,0 +1,40 @@
+// Deep validators for the scheduler and spill subsystems: cross-check
+// incrementally maintained state against brute-force recomputation.
+//
+// Everything here is read-only and side-effect free on the validated objects,
+// so a validation pass can run at any quiescent point (tests, the simulator's
+// --validate hook) without perturbing behaviour.
+#pragma once
+
+#include <span>
+
+#include "check/check.h"
+#include "harmony/scheduler.h"
+#include "harmony/spill_manager.h"
+#include "harmony/spill_store.h"
+
+namespace harmony::core {
+
+// Structural invariants of an Algorithm 1 decision against the job pool and
+// machine budget it was computed from:
+//  * total allocated machines never exceed the budget, every group gets >= 1;
+//  * no job is placed twice, every placed job comes from the pool;
+//  * jobs_scheduled equals the number of placed jobs and counts a prefix of
+//    the pool (Algorithm 1 grows candidate sets from the queue front).
+void validate_decision(const ScheduleDecision& decision, std::span<const SchedJob> pool,
+                       std::size_t machines, check::Validation& v);
+
+// Block-ledger invariants of a BlockManager:
+//  * memory + disk bytes exactly partition the total;
+//  * alpha() equals the recomputed disk fraction;
+//  * disk-resident blocks form a suffix (spill is coldest-first, so the
+//    memory-side prefix must be stable across any set_alpha history).
+void validate_block_manager(const BlockManager& blocks, check::Validation& v);
+
+// Byte-accounting invariants of a DiskSpillStore, cross-checked against the
+// filesystem: bytes_on_disk() matches the sum of the per-block ledger, and
+// every ledger entry has a backing file of exactly the serialized size
+// (header + payload). Catches skewed accounting and lost/truncated spills.
+void validate_spill_store(const DiskSpillStore& store, check::Validation& v);
+
+}  // namespace harmony::core

@@ -63,7 +63,7 @@ void HistogramMetric::reset() {
 MetricsRegistry& MetricsRegistry::instance() {
   // Leaky singleton for the same reason as the tracer: instrumented worker
   // threads may outlive static destruction order.
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = new MetricsRegistry();  // lint: allow-naked-new
   return *registry;
 }
 

@@ -46,7 +46,7 @@ const char* to_string(EventKind kind) noexcept {
 
 Tracer& Tracer::instance() {
   // Leaky singleton: worker threads may record during static destruction.
-  static Tracer* tracer = new Tracer();
+  static Tracer* tracer = new Tracer();  // lint: allow-naked-new
   return *tracer;
 }
 

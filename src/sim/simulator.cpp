@@ -1,8 +1,8 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace harmony::sim {
 
@@ -27,7 +27,9 @@ bool Simulator::step() {
     Event ev = std::move(heap_.back());
     heap_.pop_back();
     if (live_.erase(ev.id) == 0) continue;  // cancelled tombstone
-    assert(ev.time >= now_);
+    // Pops must be time-monotonic or causality breaks silently downstream.
+    HARMONY_DCHECK(ev.time >= now_)
+        << "event " << ev.id << " fires at " << ev.time << " but clock is at " << now_;
     now_ = ev.time;
     ++fired_;
     ev.cb();
@@ -39,6 +41,39 @@ bool Simulator::step() {
 void Simulator::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
+}
+
+void Simulator::validate(check::Validation& v) const {
+  // Brute-force recount of heap nodes per live id, and the true minimum over
+  // live pending events.
+  std::unordered_map<EventId, std::size_t> node_count;
+  const Event* min_live = nullptr;
+  for (const Event& ev : heap_) {
+    if (live_.find(ev.id) == live_.end()) continue;  // tombstone
+    ++node_count[ev.id];
+    if (min_live == nullptr || *min_live > ev) min_live = &ev;
+  }
+  HARMONY_VALIDATE(v, node_count.size() == live_.size())
+      << "live set has " << live_.size() << " ids but the heap holds nodes for "
+      << node_count.size() << " of them";
+  for (const auto& [id, count] : node_count)
+    HARMONY_VALIDATE(v, count == 1)
+        << "event " << id << " has " << count << " heap nodes (expected exactly 1)";
+  if (min_live != nullptr) {
+    HARMONY_VALIDATE(v, min_live->time >= now_)
+        << "clock " << now_ << " ran past pending event " << min_live->id << " at "
+        << min_live->time << " (event-heap pops would be non-monotonic)";
+    // Full heap-property sweep (parent <= child in pop order); with the
+    // property intact, pop_heap serves live events in time order even with
+    // tombstones interleaved.
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      const Event& parent = heap_[(i - 1) / 2];
+      const Event& child = heap_[i];
+      HARMONY_VALIDATE(v, !(parent > child))
+          << "heap property violated between nodes " << (i - 1) / 2 << " and " << i
+          << " (times " << parent.time << " vs " << child.time << ")";
+    }
+  }
 }
 
 void Simulator::run_until(double t) {

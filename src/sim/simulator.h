@@ -12,6 +12,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/check.h"
+
 namespace harmony::sim {
 
 using EventId = std::uint64_t;
@@ -52,6 +54,16 @@ class Simulator {
   // Live (non-cancelled) pending events; observability samples this as the
   // event-queue depth.
   std::size_t pending() const noexcept { return live_.size(); }
+
+  // Deep validator: cross-checks the incrementally maintained queue state
+  // against a brute-force scan — every live id has exactly one heap node, the
+  // heap root is the minimum over live events (pops are therefore
+  // time-monotonic), and the clock has not run past any pending event.
+  void validate(check::Validation& v) const;
+
+  // Test-only corruption hook: forces the clock to `t` without draining the
+  // queue, so validate() can demonstrate detection of a non-monotonic state.
+  void corrupt_clock_for_test(double t) noexcept { now_ = t; }
 
  private:
   struct Event {

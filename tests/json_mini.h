@@ -63,6 +63,14 @@ class JsonValue {
   Storage v_;
 };
 
+// GCC 12's -Wmaybe-uninitialized misfires on the std::variant moves inlined
+// through the recursive descent below (the variant is always engaged before
+// use); scoped suppression so the warning stays live everywhere else.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 class JsonParser {
  public:
   static JsonValue parse(const std::string& text) {
@@ -228,6 +236,10 @@ class JsonParser {
   const std::string& text_;
   std::size_t pos_ = 0;
 };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 inline JsonValue parse_json(const std::string& text) { return JsonParser::parse(text); }
 

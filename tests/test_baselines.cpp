@@ -129,7 +129,9 @@ TEST(Oracle, SeparatesMonsterJob) {
   for (const auto& g : d.groups) {
     const bool has_monster =
         std::find(g.jobs.begin(), g.jobs.end(), 0u) != g.jobs.end();
-    if (has_monster) EXPECT_EQ(g.jobs.size(), 1u);
+    if (has_monster) {
+      EXPECT_EQ(g.jobs.size(), 1u);
+    }
   }
 }
 

@@ -1,0 +1,151 @@
+// The invariant-check framework itself: macro semantics, structured failure
+// reports, entity tags, debug-only behaviour, and soft-mode accumulation.
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace check = harmony::check;
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(HARMONY_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(Check, PassingCheckDoesNotEvaluateMessage) {
+  int calls = 0;
+  auto expensive = [&] {
+    ++calls;
+    return std::string("diagnostics");
+  };
+  HARMONY_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(HARMONY_CHECK(2 + 2 == 5), check::CheckError);
+}
+
+TEST(Check, ReportCarriesFileLineExpressionAndMessage) {
+  try {
+    HARMONY_CHECK(0 > 1) << "broken with value " << 42;
+    FAIL() << "should have thrown";
+  } catch (const check::CheckError& e) {
+    const check::FailureReport& r = e.report();
+    EXPECT_NE(r.file.find("test_check.cpp"), std::string::npos);
+    EXPECT_GT(r.line, 0);
+    EXPECT_EQ(r.expression, "0 > 1");
+    EXPECT_EQ(r.message, "broken with value 42");
+    // what() is the rendered report.
+    EXPECT_NE(std::string(e.what()).find("CHECK(0 > 1) failed"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("broken with value 42"), std::string::npos);
+  }
+}
+
+TEST(Check, EntityTagsRouteIntoTheReport) {
+  try {
+    HARMONY_CHECK(false) << check::job(3) << check::group(7) << check::machine(11)
+                         << "who did it";
+    FAIL() << "should have thrown";
+  } catch (const check::CheckError& e) {
+    EXPECT_EQ(e.report().job, 3u);
+    EXPECT_EQ(e.report().group, 7u);
+    EXPECT_EQ(e.report().machine, 11u);
+    EXPECT_EQ(e.report().message, "who did it");
+    const std::string rendered = e.report().to_string();
+    EXPECT_NE(rendered.find("job 3"), std::string::npos);
+    EXPECT_NE(rendered.find("group 7"), std::string::npos);
+    EXPECT_NE(rendered.find("machine 11"), std::string::npos);
+  }
+}
+
+TEST(Check, UntaggedReportOmitsEntities) {
+  try {
+    HARMONY_CHECK(false) << "plain";
+    FAIL() << "should have thrown";
+  } catch (const check::CheckError& e) {
+    EXPECT_EQ(e.report().job, check::kNoEntity);
+    EXPECT_EQ(e.report().to_string().find("job "), std::string::npos);
+  }
+}
+
+TEST(Check, FailureBumpsTheObsCounter) {
+  auto& counter = harmony::obs::MetricsRegistry::instance().counter("check.failures");
+  const auto before = counter.value();
+  EXPECT_THROW(HARMONY_CHECK(false) << "counted", check::CheckError);
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  // Compiled out: the condition must not even be evaluated.
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return false;
+  };
+  HARMONY_DCHECK(probe()) << "never fires under NDEBUG";
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_THROW(HARMONY_DCHECK(false) << "fires in debug", check::CheckError);
+#endif
+}
+
+TEST(Validation, CollectsFailuresWithoutThrowing) {
+  check::Validation v("unit");
+  HARMONY_VALIDATE(v, 1 == 1) << "fine";
+  HARMONY_VALIDATE(v, 1 == 2) << "first failure";
+  HARMONY_VALIDATE(v, 2 == 3) << check::job(5) << "second failure";
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.report().checks_run, 3u);
+  ASSERT_EQ(v.report().failures.size(), 2u);
+  EXPECT_EQ(v.report().failures[0].message, "first failure");
+  EXPECT_EQ(v.report().failures[0].validator, "unit");
+  EXPECT_EQ(v.report().failures[1].job, 5u);
+}
+
+TEST(Validation, ConditionEvaluatedExactlyOnce) {
+  check::Validation v("unit");
+  int evaluations = 0;
+  auto probe = [&] {
+    ++evaluations;
+    return false;
+  };
+  HARMONY_VALIDATE(v, probe()) << "once";
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Validation, MentionsSearchesExpressionAndMessage) {
+  check::Validation v("unit");
+  const int occupancy = 9;
+  HARMONY_VALIDATE(v, occupancy < 5) << "machine over-allocated by " << occupancy;
+  EXPECT_TRUE(v.report().mentions("over-allocated"));
+  EXPECT_TRUE(v.report().mentions("occupancy < 5"));
+  EXPECT_FALSE(v.report().mentions("no such text"));
+}
+
+TEST(Validation, MergeAccumulatesAcrossValidators) {
+  check::Validation a("first");
+  check::Validation b("second");
+  HARMONY_VALIDATE(a, false) << "from a";
+  HARMONY_VALIDATE(b, false) << "from b";
+  HARMONY_VALIDATE(b, true) << "ok";
+  a.merge(b);
+  EXPECT_EQ(a.report().failures.size(), 2u);
+  EXPECT_EQ(a.report().checks_run, 3u);
+  EXPECT_EQ(a.report().failures[1].validator, "second");
+}
+
+TEST(Validation, ToStringRendersOneLinePerFailure) {
+  check::Validation v("unit");
+  EXPECT_EQ(v.report().to_string(), "");
+  HARMONY_VALIDATE(v, false) << "alpha";
+  HARMONY_VALIDATE(v, false) << "beta";
+  const std::string s = v.report().to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}

@@ -126,7 +126,9 @@ TEST(FaultTolerance, RestartBudgetExhaustedEventuallyFails) {
   rt.inject_failure(id);
   std::thread runner([&] { rt.run(); });
   // Wait for the first restart, then inject again to exhaust the budget.
-  while (rt.result(id).restarts < 1 && !rt.result(id).failed)
+  // progress() is the thread-safe poll; result() is only stable once the
+  // job is quiescent.
+  while (rt.progress(id).restarts < 1 && !rt.progress(id).failed)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   rt.inject_failure(id);
   runner.join();
@@ -136,7 +138,9 @@ TEST(FaultTolerance, RestartBudgetExhaustedEventuallyFails) {
   // injection could bite; both are consistent outcomes of this race, but the
   // restart must have been used.
   EXPECT_GE(r.restarts, 1u);
-  if (r.failed) EXPECT_EQ(r.restarts, 1u);
+  if (r.failed) {
+    EXPECT_EQ(r.restarts, 1u);
+  }
 }
 
 TEST(FaultTolerance, CheckpointedRestartPreservesProgress) {
@@ -148,7 +152,7 @@ TEST(FaultTolerance, CheckpointedRestartPreservesProgress) {
   const JobId id = rt.submit(cfg);
   std::thread runner([&] { rt.run(); });
   // Let it checkpoint a few epochs, then fail it.
-  while (rt.result(id).epochs < 5 && !rt.result(id).failed)
+  while (rt.progress(id).epochs < 5 && !rt.progress(id).failed)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   rt.inject_failure(id);
   runner.join();

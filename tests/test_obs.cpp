@@ -84,9 +84,9 @@ TEST_F(TracerTest, WallSpanRecordsCompleteEvent) {
 TEST_F(TracerTest, WallSpanArmedAtConstructionNotDestruction) {
   // A span opened while tracing is off must not record, even if tracing is
   // turned on before it closes (its start time was never taken).
-  WallSpan* span = new WallSpan(EventKind::kSubtaskPull, 1);
+  WallSpan* span = new WallSpan(EventKind::kSubtaskPull, 1);  // lint: allow-naked-new
   Tracer::instance().set_enabled(true);
-  delete span;
+  delete span;  // lint: allow-naked-new
   EXPECT_EQ(Tracer::instance().size(), 0u);
 }
 

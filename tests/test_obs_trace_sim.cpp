@@ -115,7 +115,9 @@ TEST(ObsTraceSim, ChromeTraceFormatAndCrossChecks) {
     // Every event carries its entity ids; a job-scoped event lives in that
     // job's process track (pid = job + 1, pid 0 is the cluster).
     const auto& args = e.at("args");
-    if (args.contains("job")) EXPECT_EQ(pid, args.at("job").number() + 1.0);
+    if (args.contains("job")) {
+      EXPECT_EQ(pid, args.at("job").number() + 1.0);
+    }
   }
 
   EXPECT_GT(spans, 0u);

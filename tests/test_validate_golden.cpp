@@ -1,0 +1,111 @@
+// Golden determinism: --validate must be a pure observer. A run with
+// validators on and a run with them off must produce bit-identical results —
+// same event interleaving, same RNG draws, same reported metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+
+namespace harmony::exp {
+namespace {
+
+std::vector<WorkloadSpec> small_workload(std::size_t n) {
+  auto catalog = make_catalog(2021);
+  std::vector<WorkloadSpec> out;
+  const std::size_t stride = std::max<std::size_t>(1, catalog.size() / n);
+  for (std::size_t i = 0; i < catalog.size() && out.size() < n; i += stride)
+    out.push_back(catalog[i]);
+  for (auto& s : out) s.iterations = std::min<std::size_t>(s.iterations, 12);
+  return out;
+}
+
+struct RunResult {
+  RunSummary summary;
+  std::string timeline_tsv;
+  double avg_jobs = 0.0;
+  double avg_groups = 0.0;
+  AlphaStats alpha;
+  std::size_t sched_invocations = 0;
+  std::size_t validations = 0;
+};
+
+RunResult run_once(bool validate, GroupingPolicy policy = GroupingPolicy::kHarmony) {
+  ClusterSimConfig config = ClusterSimConfig::harmony();
+  if (policy == GroupingPolicy::kIsolated) config = ClusterSimConfig::isolated();
+  if (policy == GroupingPolicy::kRandom) config = ClusterSimConfig::naive(3);
+  config.machines = 24;
+  config.validate = validate;
+  auto workload = small_workload(12);
+  ClusterSim sim(config, workload, batch_arrivals(workload.size()));
+  RunResult r;
+  r.summary = sim.run();
+  r.timeline_tsv = sim.timeline().tsv(40);
+  r.avg_jobs = sim.avg_concurrent_jobs();
+  r.avg_groups = sim.avg_concurrent_groups();
+  r.alpha = sim.alpha_stats();
+  r.sched_invocations = sim.sched_invocations();
+  r.validations = sim.validations_run();
+  return r;
+}
+
+void expect_identical(const RunResult& off, const RunResult& on) {
+  // Exact comparisons on purpose: any perturbation of the event order or the
+  // RNG stream shows up as a bit difference, not an epsilon.
+  EXPECT_EQ(off.summary.makespan, on.summary.makespan);
+  EXPECT_EQ(off.summary.mean_jct(), on.summary.mean_jct());
+  EXPECT_EQ(off.summary.regroup_events, on.summary.regroup_events);
+  EXPECT_EQ(off.summary.oom_events, on.summary.oom_events);
+  EXPECT_EQ(off.summary.migration_overhead_sec, on.summary.migration_overhead_sec);
+  EXPECT_EQ(off.summary.gc_time_fraction, on.summary.gc_time_fraction);
+  EXPECT_EQ(off.summary.avg_util.cpu, on.summary.avg_util.cpu);
+  EXPECT_EQ(off.summary.avg_util.net, on.summary.avg_util.net);
+  ASSERT_EQ(off.summary.jobs.size(), on.summary.jobs.size());
+  for (std::size_t i = 0; i < off.summary.jobs.size(); ++i) {
+    EXPECT_EQ(off.summary.jobs[i].job, on.summary.jobs[i].job);
+    EXPECT_EQ(off.summary.jobs[i].finish_time, on.summary.jobs[i].finish_time);
+  }
+  EXPECT_EQ(off.timeline_tsv, on.timeline_tsv);
+  EXPECT_EQ(off.avg_jobs, on.avg_jobs);
+  EXPECT_EQ(off.avg_groups, on.avg_groups);
+  EXPECT_EQ(off.alpha.mean, on.alpha.mean);
+  EXPECT_EQ(off.alpha.min, on.alpha.min);
+  EXPECT_EQ(off.alpha.max, on.alpha.max);
+  EXPECT_EQ(off.alpha.jobs_at_one, on.alpha.jobs_at_one);
+  EXPECT_EQ(off.sched_invocations, on.sched_invocations);
+}
+
+TEST(ValidateGolden, HarmonyRunIsBitIdenticalWithValidationOn) {
+  const RunResult off = run_once(false);
+  const RunResult on = run_once(true);
+  EXPECT_EQ(off.validations, 0u);
+  EXPECT_GT(on.validations, 0u);  // the validators really ran
+  expect_identical(off, on);
+}
+
+TEST(ValidateGolden, IsolatedRunIsBitIdenticalWithValidationOn) {
+  const RunResult off = run_once(false, GroupingPolicy::kIsolated);
+  const RunResult on = run_once(true, GroupingPolicy::kIsolated);
+  EXPECT_GE(on.validations, 1u);  // at least the end-of-run pass
+  expect_identical(off, on);
+}
+
+TEST(ValidateGolden, NaiveRunIsBitIdenticalWithValidationOn) {
+  const RunResult off = run_once(false, GroupingPolicy::kRandom);
+  const RunResult on = run_once(true, GroupingPolicy::kRandom);
+  EXPECT_GE(on.validations, 1u);
+  expect_identical(off, on);
+}
+
+TEST(ValidateGolden, ValidationOnIsRepeatable) {
+  const RunResult a = run_once(true);
+  const RunResult b = run_once(true);
+  EXPECT_EQ(a.validations, b.validations);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace harmony::exp

@@ -1,0 +1,287 @@
+// Deep validators: every validator passes on healthy state, and every
+// deliberately injected corruption is detected with a report that names the
+// broken invariant (not just "something failed").
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+#include "harmony/spill_manager.h"
+#include "harmony/spill_store.h"
+#include "harmony/validate.h"
+#include "sim/simulator.h"
+
+namespace harmony {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<exp::WorkloadSpec> small_workload(std::size_t n) {
+  auto catalog = exp::make_catalog(2021);
+  std::vector<exp::WorkloadSpec> out;
+  const std::size_t stride = std::max<std::size_t>(1, catalog.size() / n);
+  for (std::size_t i = 0; i < catalog.size() && out.size() < n; i += stride)
+    out.push_back(catalog[i]);
+  for (auto& s : out) s.iterations = std::min<std::size_t>(s.iterations, 12);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler decisions
+
+core::SchedJob sched_job(core::JobId id) {
+  core::SchedJob j;
+  j.id = id;
+  j.profile.cpu_work = 100.0;
+  j.profile.t_net = 1.0;
+  return j;
+}
+
+TEST(ValidateDecision, HealthyDecisionPasses) {
+  std::vector<core::SchedJob> pool = {sched_job(0), sched_job(1), sched_job(2)};
+  core::ScheduleDecision d;
+  d.groups.push_back(core::GroupPlan{{0, 2}, 4});
+  d.groups.push_back(core::GroupPlan{{1}, 2});
+  d.jobs_scheduled = 3;
+  check::Validation v("decision");
+  core::validate_decision(d, pool, 8, v);
+  EXPECT_TRUE(v.ok()) << v.report().to_string();
+  EXPECT_GT(v.report().checks_run, 0u);
+}
+
+TEST(ValidateDecision, OverAllocatedBudgetDetected) {
+  std::vector<core::SchedJob> pool = {sched_job(0), sched_job(1)};
+  core::ScheduleDecision d;
+  d.groups.push_back(core::GroupPlan{{0}, 5});
+  d.groups.push_back(core::GroupPlan{{1}, 4});
+  d.jobs_scheduled = 2;
+  check::Validation v("decision");
+  core::validate_decision(d, pool, 8, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("budget")) << v.report().to_string();
+}
+
+TEST(ValidateDecision, DuplicatePlacementDetected) {
+  std::vector<core::SchedJob> pool = {sched_job(0), sched_job(1)};
+  core::ScheduleDecision d;
+  d.groups.push_back(core::GroupPlan{{0, 1}, 2});
+  d.groups.push_back(core::GroupPlan{{1}, 2});
+  d.jobs_scheduled = 3;
+  check::Validation v("decision");
+  core::validate_decision(d, pool, 8, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("more than one group")) << v.report().to_string();
+}
+
+TEST(ValidateDecision, ForeignJobAndZeroMachinesDetected) {
+  std::vector<core::SchedJob> pool = {sched_job(0)};
+  core::ScheduleDecision d;
+  d.groups.push_back(core::GroupPlan{{7}, 0});
+  d.jobs_scheduled = 1;
+  check::Validation v("decision");
+  core::validate_decision(d, pool, 8, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("zero machines"));
+  EXPECT_TRUE(v.report().mentions("not in the scheduling pool"));
+  // Failures accumulate: one broken plan does not mask the other checks.
+  EXPECT_GE(v.report().failures.size(), 2u);
+}
+
+TEST(ValidateDecision, WrongJobsScheduledCountDetected) {
+  std::vector<core::SchedJob> pool = {sched_job(0), sched_job(1)};
+  core::ScheduleDecision d;
+  d.groups.push_back(core::GroupPlan{{0}, 2});
+  d.jobs_scheduled = 2;  // claims two, placed one
+  check::Validation v("decision");
+  core::validate_decision(d, pool, 8, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("jobs_scheduled")) << v.report().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Block manager (spill byte accounting)
+
+TEST(ValidateBlockManager, HealthyAfterSpillAndReload) {
+  core::BlockManager blocks(1000.0, 100.0);
+  blocks.set_alpha(0.6);
+  blocks.set_alpha(0.3);
+  check::Validation v("blocks");
+  core::validate_block_manager(blocks, v);
+  EXPECT_TRUE(v.ok()) << v.report().to_string();
+}
+
+TEST(ValidateBlockManager, CorruptedBlockBreaksSuffixInvariant) {
+  core::BlockManager blocks(1000.0, 100.0);
+  blocks.set_alpha(0.5);  // blocks 5..9 on disk
+  blocks.corrupt_block_for_test(0);  // flips a front (memory) block to disk
+  check::Validation v("blocks");
+  core::validate_block_manager(blocks, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("suffix")) << v.report().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Disk spill store (ledger vs files on disk)
+
+class SpillStoreValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Pid-unique: concurrent ctest runs from different build trees must not
+    // clobber each other's spill files.
+    dir_ = fs::temp_directory_path() /
+           ("harmony-validate-store-test-" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(SpillStoreValidatorTest, HealthyLedgerPasses) {
+  core::DiskSpillStore store(dir_);
+  const std::vector<double> data(64, 1.5);
+  store.spill(1, 0, data);
+  store.spill(1, 1, data);
+  store.spill(2, 0, data);
+  store.remove(1, 1);
+  check::Validation v("store");
+  core::validate_spill_store(store, v);
+  EXPECT_TRUE(v.ok()) << v.report().to_string();
+}
+
+TEST_F(SpillStoreValidatorTest, TruncatedSpillFileDetected) {
+  core::DiskSpillStore store(dir_);
+  const std::vector<double> data(64, 1.5);
+  store.spill(3, 7, data);
+  // Tamper: truncate the on-disk file behind the ledger's back.
+  fs::path victim;
+  for (const auto& entry : fs::directory_iterator(store.dir()))
+    victim = entry.path();
+  ASSERT_FALSE(victim.empty());
+  std::ofstream(victim, std::ios::binary | std::ios::trunc).put('x');
+  check::Validation v("store");
+  core::validate_spill_store(store, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("ledger expects")) << v.report().to_string();
+}
+
+TEST_F(SpillStoreValidatorTest, MissingSpillFileDetected) {
+  core::DiskSpillStore store(dir_);
+  const std::vector<double> data(16, 2.0);
+  store.spill(4, 0, data);
+  for (const auto& entry : fs::directory_iterator(store.dir()))
+    fs::remove(entry.path());
+  check::Validation v("store");
+  core::validate_spill_store(store, v);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.report().mentions("missing")) << v.report().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Simulator event heap
+
+TEST(ValidateSimulator, HealthyHeapPasses) {
+  sim::Simulator s;
+  for (int i = 0; i < 20; ++i) s.schedule_at(20.0 - i, [] {});
+  s.run(5);
+  check::Validation v("sim");
+  s.validate(v);
+  EXPECT_TRUE(v.ok()) << v.report().to_string();
+}
+
+TEST(ValidateSimulator, ClockAheadOfPendingEventsDetected) {
+  sim::Simulator s;
+  s.schedule_at(10.0, [] {});
+  s.corrupt_clock_for_test(50.0);  // pending event is now in the past
+  check::Validation v("sim");
+  s.validate(v);
+  EXPECT_FALSE(v.ok());
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim deep state validation
+
+TEST(ClusterSimValidate, HealthyRunIsCleanAtEveryRegroupEvent) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 24;
+  config.validate = true;
+  auto workload = small_workload(12);
+  exp::ClusterSim sim(config, workload, exp::batch_arrivals(workload.size()));
+  const auto summary = sim.run();
+  EXPECT_EQ(summary.jobs.size(), 12u);
+  EXPECT_GT(sim.validations_run(), 0u);
+  // Quiescent end state also validates clean.
+  EXPECT_TRUE(sim.validate_state().ok()) << sim.validate_state().to_string();
+}
+
+struct CorruptionCase {
+  exp::ClusterSim::Corruption kind;
+  const char* needle;  // the report must name the broken invariant
+};
+
+class ClusterSimCorruption : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(ClusterSimCorruption, InjectedCorruptionTripsItsValidator) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 24;
+  config.validate = true;
+  auto workload = small_workload(12);
+  exp::ClusterSim sim(config, workload, exp::batch_arrivals(workload.size()));
+  // Mid-run: groups exist, spill ratios are live, indexes are busy.
+  sim.schedule_corruption_for_test(3000.0, GetParam().kind);
+  try {
+    sim.run();
+    FAIL() << "corrupted state escaped validation";
+  } catch (const check::CheckError& e) {
+    EXPECT_EQ(e.report().validator, "cluster_sim");
+    // The corrupted state is still in place: the full report must name the
+    // broken invariant (the throw only carries the first failure).
+    const auto report = sim.validate_state();
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.mentions(GetParam().needle)) << report.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ClusterSimCorruption,
+    ::testing::Values(
+        CorruptionCase{exp::ClusterSim::Corruption::kBadIndexEntry, "index"},
+        CorruptionCase{exp::ClusterSim::Corruption::kOverAllocatedMachine,
+                       "machine conservation"},
+        CorruptionCase{exp::ClusterSim::Corruption::kSkewedSpillAlpha,
+                       "disk ratio out of range"},
+        CorruptionCase{exp::ClusterSim::Corruption::kBrokenMembership,
+                       "bidirectional"}));
+
+TEST(ClusterSimValidate, PostRunCorruptionCaughtByDirectCall) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 24;
+  auto workload = small_workload(8);
+  exp::ClusterSim sim(config, workload, exp::batch_arrivals(workload.size()));
+  sim.run();
+  ASSERT_TRUE(sim.validate_state().ok());
+  sim.corrupt_for_test(exp::ClusterSim::Corruption::kBadIndexEntry);
+  const auto report = sim.validate_state();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.mentions("bad index entry")) << report.to_string();
+}
+
+TEST(ClusterSimValidate, ValidationOffRunsNoPasses) {
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 24;
+  auto workload = small_workload(8);
+  exp::ClusterSim sim(config, workload, exp::batch_arrivals(workload.size()));
+  sim.run();
+  EXPECT_EQ(sim.validations_run(), 0u);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -10,6 +10,10 @@
 //     --naive-seed S                    naive grouping shuffle seed
 //     --error F                         profile error injection, e.g. 0.1
 //     --timeline                        print the utilization timeline
+//     --validate                        deep invariant validators at every
+//                                       regroup event (diagnostics on stderr;
+//                                       stdout is byte-identical to a run
+//                                       without this flag)
 //     --trace                           per-minute cluster snapshots (stderr)
 //     --chrome-trace FILE               write a Chrome trace-event JSON file
 //     --metrics FILE                    write a metrics-registry JSON snapshot
@@ -42,7 +46,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                "usage: %s [--policy harmony|isolated|naive] [--jobs N] [--machines M]\n"
                "          [--arrival batch|poisson:SEC|trace:SEC] [--seed S]\n"
                "          [--spill on|off] [--naive-seed S] [--error F]\n"
-               "          [--timeline] [--trace]\n"
+               "          [--timeline] [--validate] [--trace]\n"
                "          [--chrome-trace FILE] [--metrics FILE]\n"
                "          [--log-level debug|info|warn|error] [--help]\n",
                argv0);
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
       config.model_error_injection = std::stod(next());
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--validate") {
+      config.validate = true;
     } else if (arg == "--trace") {
       config.debug_trace = true;
     } else if (arg == "--chrome-trace") {
@@ -127,20 +133,24 @@ int main(int argc, char** argv) {
     const auto machines = config.machines;
     const auto err = config.model_error_injection;
     const auto trace = config.debug_trace;
+    const auto validate = config.validate;
     config = exp::ClusterSimConfig::isolated();
     config.seed = seed;
     config.machines = machines;
     config.model_error_injection = err;
     config.debug_trace = trace;
+    config.validate = validate;
   } else if (policy == "naive") {
     const auto seed = config.seed;
     const auto machines = config.machines;
     const auto gseed = config.naive_grouping_seed;
     const auto trace = config.debug_trace;
+    const auto validate = config.validate;
     config = exp::ClusterSimConfig::naive(gseed == 0 ? 1 : gseed);
     config.seed = seed;
     config.machines = machines;
     config.debug_trace = trace;
+    config.validate = validate;
   } else if (policy != "harmony") {
     usage_error(argv[0], "unknown policy '" + policy + "'");
   }
@@ -171,6 +181,11 @@ int main(int argc, char** argv) {
 
   exp::ClusterSim sim(config, catalog, arrivals);
   const auto summary = sim.run();
+
+  // stderr, so --validate leaves stdout byte-identical (golden determinism).
+  if (config.validate)
+    std::fprintf(stderr, "validation: %zu passes, all invariants clean\n",
+                 sim.validations_run());
 
   std::printf("\nfinished %zu jobs\n", summary.jobs.size());
   std::printf("makespan            %10.2f h\n", summary.makespan / 3600.0);

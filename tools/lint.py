@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Project lint pass: Harmony-specific rules plus an optional clang-tidy run.
+
+Project rules (always run, no dependencies beyond the stdlib):
+
+  nondeterminism   The simulator and scheduler must be bit-reproducible, so
+                   `rand()`, `srand()`, `time(...)`-seeding, std::random_device,
+                   and unseeded std::mt19937 engines are banned in the
+                   deterministic directories (src/sim, src/harmony, src/exp,
+                   src/baselines, src/common). Randomness flows through
+                   common::Rng with an explicit seed.
+  naked-new        No naked `new` / `delete`: ownership lives in containers and
+                   smart pointers. The two observability leaky singletons are
+                   exempted with a `// lint: allow-naked-new` marker.
+  header-hygiene   Every header starts with `#pragma once`; headers never say
+                   `using namespace` at file scope; no `#include "../..."`
+                   parent-relative includes anywhere (include paths are rooted
+                   at src/).
+
+clang-tidy (best effort): when a compile_commands.json is available (pass
+--build-dir, or let the script probe build*/), and a clang-tidy binary exists,
+the checks from .clang-tidy run over the project sources. Missing clang-tidy
+degrades to a note, not a failure, so the script works in minimal containers.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose code must be deterministic (simulation + scheduling core).
+DETERMINISTIC_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/common")
+# All directories subject to the generic rules.
+SOURCE_DIRS = ("src", "tools", "tests")
+SOURCE_EXTS = (".h", ".cpp")
+
+ALLOW_NAKED_NEW = "lint: allow-naked-new"
+ALLOW_NONDET = "lint: allow-nondeterminism"
+
+NONDET_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() is banned; use common::Rng with an explicit seed"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "wall-clock seeding is banned; seeds must be explicit"),
+    (re.compile(r"std::random_device"), "std::random_device breaks reproducibility; use a fixed seed"),
+    (re.compile(r"std::mt19937(?:_64)?\s+\w+\s*;"), "unseeded std::mt19937 engine; construct with an explicit seed"),
+]
+
+NAKED_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
+NAKED_DELETE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_*(]")
+PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals.
+
+    Good enough for line-oriented lint rules; block comments are handled by
+    the caller tracking state across lines.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def project_files():
+    for top in SOURCE_DIRS:
+        root = os.path.join(REPO, top)
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+class Findings:
+    def __init__(self):
+        self.items: list[str] = []
+
+    def add(self, path: str, line_no: int, rule: str, message: str):
+        rel = os.path.relpath(path, REPO)
+        self.items.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+
+def lint_file(path: str, findings: Findings):
+    rel = os.path.relpath(path, REPO)
+    is_header = path.endswith(".h")
+    in_deterministic = rel.startswith(DETERMINISTIC_DIRS) or rel.startswith("tools")
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    in_block_comment = False
+    saw_pragma_once = False
+    for line_no, raw in enumerate(raw_lines, start=1):
+        # Track /* ... */ state so commented-out code is never flagged.
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2 :]
+
+        code = strip_comments_and_strings(line)
+        if not code.strip():
+            if "#pragma once" in raw:
+                saw_pragma_once = True
+            continue
+
+        if "#pragma once" in code:
+            saw_pragma_once = True
+
+        if PARENT_INCLUDE.search(code):
+            findings.add(path, line_no, "header-hygiene",
+                         'parent-relative #include "../..."; include paths are rooted at src/')
+
+        if is_header and USING_NAMESPACE.match(code):
+            findings.add(path, line_no, "header-hygiene",
+                         "`using namespace` in a header leaks into every includer")
+
+        if ALLOW_NAKED_NEW not in raw:
+            if NAKED_NEW.search(code) or NAKED_DELETE.search(code):
+                findings.add(path, line_no, "naked-new",
+                             "naked new/delete; use containers or smart pointers"
+                             f" (or mark the line `// {ALLOW_NAKED_NEW}`)")
+
+        if in_deterministic and ALLOW_NONDET not in raw:
+            for pattern, message in NONDET_PATTERNS:
+                if pattern.search(code):
+                    findings.add(path, line_no, "nondeterminism", message)
+
+    if is_header and not saw_pragma_once:
+        findings.add(path, 1, "header-hygiene", "header is missing #pragma once")
+
+
+def find_compile_commands(build_dir: str | None) -> str | None:
+    candidates = [build_dir] if build_dir else ["build", "build-asan", "build-tsan"]
+    for cand in candidates:
+        if not cand:
+            continue
+        path = os.path.join(REPO, cand, "compile_commands.json") if not os.path.isabs(cand) \
+            else os.path.join(cand, "compile_commands.json")
+        if os.path.isfile(path):
+            return path
+    return None
+
+
+def run_clang_tidy(compile_commands: str, jobs: int) -> int:
+    """Runs clang-tidy over every project .cpp in the compilation database.
+
+    Returns the number of files with findings.
+    """
+    tidy = shutil.which("clang-tidy")
+    if not tidy:
+        print("lint: note: clang-tidy not found on PATH; skipping the clang-tidy pass")
+        return 0
+    with open(compile_commands, encoding="utf-8") as f:
+        entries = json.load(f)
+    files = sorted({
+        e["file"] for e in entries
+        if e["file"].startswith(os.path.join(REPO, "src") + os.sep)
+        or e["file"].startswith(os.path.join(REPO, "tools") + os.sep)
+    })
+    if not files:
+        print("lint: note: no project sources in the compilation database")
+        return 0
+    build_path = os.path.dirname(compile_commands)
+    print(f"lint: clang-tidy ({tidy}) over {len(files)} files ...")
+    failed = 0
+    # Batch to keep process count sane without pulling in run-clang-tidy.
+    batch = max(1, len(files) // max(jobs, 1) + 1)
+    procs = []
+    for i in range(0, len(files), batch):
+        procs.append(subprocess.Popen(
+            [tidy, "-p", build_path, "--quiet", *files[i : i + batch]],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True))
+    for proc in procs:
+        out, _ = proc.communicate()
+        if proc.returncode != 0 or "warning:" in out or "error:" in out:
+            failed += 1
+            sys.stdout.write(out)
+    return failed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", help="build tree holding compile_commands.json")
+    parser.add_argument("--no-clang-tidy", action="store_true",
+                        help="run only the project rules")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    findings = Findings()
+    count = 0
+    for path in project_files():
+        count += 1
+        lint_file(path, findings)
+    print(f"lint: project rules over {count} files: {len(findings.items)} finding(s)")
+    for item in findings.items:
+        print(f"  {item}")
+
+    tidy_failures = 0
+    if not args.no_clang_tidy:
+        compile_commands = find_compile_commands(args.build_dir)
+        if compile_commands:
+            tidy_failures = run_clang_tidy(compile_commands, args.jobs)
+        else:
+            print("lint: note: no compile_commands.json found "
+                  "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); "
+                  "skipping the clang-tidy pass")
+
+    if findings.items or tidy_failures:
+        print("lint: FAILED")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
