@@ -12,7 +12,10 @@
 #include "exp/cluster_sim.h"
 #include "exp/metrics.h"
 #include "exp/workload.h"
+#include "obs/analysis/analysis.h"
+#include "obs/analysis/report.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::bench {
 
@@ -46,22 +49,51 @@ inline double speedup(double baseline, double value) {
 // Splices the current metrics-registry snapshot into an existing JSON report
 // (e.g. a google-benchmark --benchmark_out file) as a top-level
 // "harmony_metrics" member, so BENCH_*.json reports carry the run's counters
-// and gauges alongside the timing data. Returns false if the file is missing
-// or does not end with a JSON object.
+// and gauges alongside the timing data. Returns false (file untouched) if
+// the file is missing or its content is not a JSON object: the document must
+// start with '{' and end with '}' up to whitespace, so the brace we splice
+// before is the root object's closing brace, not a '}' inside trailing junk.
 inline bool attach_metrics_snapshot(const std::string& json_path) {
   std::ifstream in(json_path, std::ios::binary);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
-  const std::size_t close = text.find_last_of('}');
-  if (close == std::string::npos) return false;
+  constexpr const char* kWs = " \t\r\n";
+  const std::size_t first = text.find_first_not_of(kWs);
+  const std::size_t close = text.find_last_not_of(kWs);
+  if (first == std::string::npos || text[first] != '{' || text[close] != '}' ||
+      close == first)
+    return false;
   const std::string snapshot = obs::MetricsRegistry::instance().snapshot_json();
-  text.insert(close, ",\n\"harmony_metrics\": " + snapshot + "\n");
+  // An empty root object ({}) takes no leading comma.
+  const std::size_t prev = text.find_last_not_of(kWs, close - 1);
+  const bool root_is_empty = prev == first;
+  text.insert(close, (root_is_empty ? std::string("\n") : std::string(",\n")) +
+                         "\"harmony_metrics\": " + snapshot + "\n");
   std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out << text;
   return static_cast<bool>(out);
+}
+
+// Attaches a full trace-analysis run report to a figure driver's output:
+// feeds the tracer's current buffer through the analysis engine, reconciled
+// against `summary`, and writes <dir>/report.md + <dir>/report.json with the
+// metrics snapshot folded in. Returns false when no events were recorded
+// (tracing disabled for the run) or on I/O failure.
+inline bool write_run_report(const exp::RunSummary& summary, const std::string& dir) {
+  auto events = obs::Tracer::instance().snapshot();
+  if (events.empty()) return false;
+  obs::analysis::RunTotals totals;
+  totals.makespan_sec = summary.makespan;
+  totals.jobs.reserve(summary.jobs.size());
+  for (const auto& outcome : summary.jobs)
+    totals.jobs.push_back(obs::analysis::RunTotals::JobOutcome{
+        outcome.job, outcome.submit_time, outcome.finish_time});
+  const auto analysis = obs::analysis::analyze(std::move(events), &totals);
+  return obs::analysis::write_report_files(
+      analysis, obs::MetricsRegistry::instance().snapshot_json(), dir);
 }
 
 }  // namespace harmony::bench

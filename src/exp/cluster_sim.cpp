@@ -1291,6 +1291,14 @@ void ClusterSim::record_group_prediction(GroupRun& group) {
   }
   group.predicted_titr = core::PerfModel::group_iteration_time(shape);
   group.predicted_util = core::PerfModel::group_utilization(shape);
+  // Perf-model cross-check hook: expose the model's belief about this group
+  // (predicted T_itr and which lane bounds it) to the trace so the analysis
+  // engine can score predictions against measured behaviour (Fig. 13-style).
+  if (obs::Tracer::enabled())
+    obs::Tracer::prediction(obs::ClockDomain::kSim, sim_.now() * kTraceUs,
+                            static_cast<std::uint32_t>(group.id),
+                            group.predicted_titr * kTraceUs,
+                            core::PerfModel::group_bound(shape) == core::Bound::kCpu);
   group.predict_start = sim_.now();
   group.cpu_busy_at_predict = group.cpu_busy();
   group.net_busy_at_predict = group.net_busy();

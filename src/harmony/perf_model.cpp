@@ -5,6 +5,20 @@
 
 namespace harmony::core {
 
+const char* to_string(Bound bound) noexcept {
+  return bound == Bound::kCpu ? "cpu" : "net";
+}
+
+Bound PerfModel::group_bound(const GroupShape& group) {
+  double sum_cpu = 0.0;
+  double sum_net = 0.0;
+  for (const JobProfile& j : group.jobs) {
+    sum_cpu += j.t_cpu(group.machines);
+    sum_net += j.t_net;
+  }
+  return sum_cpu >= sum_net ? Bound::kCpu : Bound::kNet;
+}
+
 double PerfModel::group_iteration_time(const GroupShape& group) {
   assert(group.machines > 0);
   double sum_cpu = 0.0;

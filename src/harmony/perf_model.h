@@ -27,6 +27,14 @@ struct GroupShape {
   std::size_t machines = 0;
 };
 
+// Which resource Eq. 1 says bounds a group's iteration: the CPU lane
+// (Σ T_cpu dominates) or the network lane (Σ T_net dominates). The
+// bound-switch at the heart of Algorithm 1's performance model — adding
+// machines shrinks COMP until the group flips to network-bound (§IV).
+enum class Bound : std::uint8_t { kCpu, kNet };
+
+const char* to_string(Bound bound) noexcept;
+
 class PerfModel {
  public:
   struct Params {
@@ -46,6 +54,11 @@ class PerfModel {
 
   // Eq. 1: T_g_itr = max(Σ T_cpu, Σ T_net, max_j T_j_itr).
   static double group_iteration_time(const GroupShape& group);
+
+  // Eq. 1's arg-max over the two resource lanes: CPU-bound when Σ T_cpu ≥
+  // Σ T_net, network-bound otherwise (ties go to CPU, matching the model's
+  // "CPU directly contributes to progress" preference).
+  static Bound group_bound(const GroupShape& group);
 
   // Eq. 3: per-resource busy fraction within a group iteration.
   static Utilization group_utilization(const GroupShape& group);

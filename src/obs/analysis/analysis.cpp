@@ -1,0 +1,18 @@
+#include "obs/analysis/analysis.h"
+
+#include "obs/analysis/internal.h"
+
+namespace harmony::obs::analysis {
+
+RunAnalysis analyze(std::vector<TraceEvent> events, const RunTotals* totals,
+                    const AnalysisOptions& options) {
+  RunAnalysis out;
+  out.options = options;
+  const internal::TraceIndex index = internal::build_index(std::move(events));
+  internal::attribute_phases(index, out);
+  internal::classify_bounds(index, out);
+  internal::rollup_cluster(index, totals, out);
+  return out;
+}
+
+}  // namespace harmony::obs::analysis

@@ -1,0 +1,110 @@
+// Stage 1: per-job, per-iteration phase attribution.
+//
+// Within an iteration span, the recorded sub-spans (PULL service, reload
+// stall, COMP service, PUSH service) are sequential and disjoint by
+// construction of the subtask pipeline; each is assigned to the iteration
+// containing its midpoint and clipped to the iteration's bounds, and the
+// uncovered residual is sync-wait — time the job spent queued behind its
+// co-tenants on the group's lanes. Checkpoint/migration pauses happen
+// between iterations and are attributed at the job level, so
+//
+//   Σ phases(job) = Σ iteration walls + Σ checkpoint pauses
+//
+// holds exactly (to fp rounding), which is what the reconciliation tests and
+// the report's coverage column rely on.
+#include <algorithm>
+#include <cmath>
+
+#include "obs/analysis/internal.h"
+
+namespace harmony::obs::analysis {
+
+const char* PhaseTotals::dominant() const noexcept {
+  const char* name = "pull";
+  double best = pull;
+  const auto consider = [&](double v, const char* n) {
+    if (v > best) {
+      best = v;
+      name = n;
+    }
+  };
+  consider(comp, "comp");
+  consider(push, "push");
+  consider(reload, "reload");
+  consider(checkpoint, "checkpoint");
+  consider(wait, "wait");
+  return name;
+}
+
+}  // namespace harmony::obs::analysis
+
+namespace harmony::obs::analysis::internal {
+
+namespace {
+
+// Index of the iteration whose [start, end) contains the span's midpoint;
+// iterations.size() when none does (e.g. a checkpoint between iterations).
+std::size_t owning_iteration(const std::vector<const TraceEvent*>& iterations,
+                             const TraceEvent& span) {
+  const double mid = 0.5 * (start_sec(span) + end_sec(span));
+  // Iterations are sorted by start; find the last one starting at/before mid.
+  auto it = std::upper_bound(iterations.begin(), iterations.end(), mid,
+                             [](double t, const TraceEvent* e) { return t < start_sec(*e); });
+  if (it == iterations.begin()) return iterations.size();
+  --it;
+  const TraceEvent& cand = **it;
+  if (mid < start_sec(cand) || mid > end_sec(cand)) return iterations.size();
+  return static_cast<std::size_t>(it - iterations.begin());
+}
+
+void clip_into(const std::vector<const TraceEvent*>& iterations,
+               const std::vector<const TraceEvent*>& spans,
+               std::vector<PhaseTotals>& per_iter, double PhaseTotals::*member) {
+  for (const TraceEvent* s : spans) {
+    const std::size_t idx = owning_iteration(iterations, *s);
+    if (idx >= iterations.size()) continue;  // outside any iteration: rare, skip
+    const TraceEvent& itr = *iterations[idx];
+    per_iter[idx].*member += overlap_sec(*s, start_sec(itr), end_sec(itr));
+  }
+}
+
+}  // namespace
+
+void attribute_phases(const TraceIndex& index, RunAnalysis& out) {
+  out.jobs.clear();
+  out.jobs.reserve(index.jobs.size());
+  for (const auto& [id, ev] : index.jobs) {
+    JobAnalysis job;
+    job.job = id;
+    job.first_event_sec = ev.first_sec;
+    job.last_event_sec = ev.last_sec;
+    job.iterations = ev.iterations.size();
+
+    std::vector<PhaseTotals> per_iter(ev.iterations.size());
+    clip_into(ev.iterations, ev.pulls, per_iter, &PhaseTotals::pull);
+    clip_into(ev.iterations, ev.comps, per_iter, &PhaseTotals::comp);
+    clip_into(ev.iterations, ev.pushes, per_iter, &PhaseTotals::push);
+    clip_into(ev.iterations, ev.reloads, per_iter, &PhaseTotals::reload);
+
+    for (std::size_t i = 0; i < ev.iterations.size(); ++i) {
+      const double wall = ev.iterations[i]->dur_us / kUsPerSec;
+      job.iteration_total_sec += wall;
+      PhaseTotals& p = per_iter[i];
+      const double covered = p.pull + p.comp + p.push + p.reload;
+      p.wait = std::max(0.0, wall - covered);
+      job.phases.add(p);
+    }
+    // Checkpoint/migration pauses live between iterations, at job scope.
+    for (const TraceEvent* c : ev.checkpoints)
+      job.phases.checkpoint += c->dur_us / kUsPerSec;
+
+    job.mean_iteration_sec =
+        job.iterations > 0
+            ? job.iteration_total_sec / static_cast<double>(job.iterations)
+            : 0.0;
+    out.cluster_phases.add(job.phases);
+    out.jobs.push_back(std::move(job));
+  }
+}
+
+}  // namespace harmony::obs::analysis::internal

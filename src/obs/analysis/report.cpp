@@ -1,0 +1,542 @@
+#include "obs/analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace harmony::obs::analysis {
+
+namespace {
+
+// Fixed-format numbers: every value the report prints goes through one of
+// these, so output bytes depend only on the analyzed values.
+std::string sec(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string frac(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+std::string pct(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v);
+  return buf;
+}
+
+const char* clock_name(ClockDomain clock) {
+  return clock == ClockDomain::kSim ? "sim" : "wall";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Chrome trace loader
+
+std::vector<TraceEvent> events_from_chrome_trace(const std::string& json_text) {
+  const json::JsonValue doc = json::parse_json(json_text);
+  const auto& records = doc.at("traceEvents").array();
+  std::vector<TraceEvent> events;
+  events.reserve(records.size());
+  for (const auto& rec : records) {
+    const std::string& ph = rec.at("ph").string();
+    if (ph == "M") continue;  // process/thread metadata
+    if (ph != "X" && ph != "i")
+      throw std::runtime_error("trace: unsupported event phase '" + ph + "'");
+    TraceEvent e;
+    const std::string& name = rec.at("name").string();
+    if (!kind_from_string(name, e.kind))
+      throw std::runtime_error("trace: unknown event name '" + name + "'");
+    e.phase = ph == "X" ? Phase::kComplete : Phase::kInstant;
+    e.ts_us = rec.at("ts").number();
+    if (ph == "X") e.dur_us = rec.at("dur").number();
+    const std::string& cat = rec.at("cat").string();
+    if (cat != "sim" && cat != "wall")
+      throw std::runtime_error("trace: unknown clock domain '" + cat + "'");
+    e.clock = cat == "sim" ? ClockDomain::kSim : ClockDomain::kWall;
+    if (rec.contains("args")) {
+      const auto& args = rec.at("args");
+      if (args.contains("job"))
+        e.job = static_cast<std::uint32_t>(args.at("job").number());
+      if (args.contains("group"))
+        e.group = static_cast<std::uint32_t>(args.at("group").number());
+      if (args.contains("machine"))
+        e.machine = static_cast<std::uint32_t>(args.at("machine").number());
+      if (args.contains("bytes"))
+        e.bytes = static_cast<std::uint64_t>(args.at("bytes").number());
+      if (args.contains("value")) e.value = args.at("value").number();
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Markdown
+
+void write_markdown(const RunAnalysis& a, const std::string& metrics_json,
+                    std::ostream& out) {
+  out << "# Harmony run report\n\n";
+  out << "- clock domain: " << clock_name(a.clock) << "\n";
+  out << "- events analyzed: " << a.event_count << "\n";
+  out << "- span: " << sec(a.start_sec) << " s – " << sec(a.end_sec) << " s\n";
+  out << "- makespan: " << sec(a.makespan_sec) << " s ("
+      << (a.has_totals ? "from run summary" : "derived from trace") << ")\n";
+  out << "- jobs: " << a.jobs.size() << ", groups: " << a.groups.size() << "\n";
+
+  out << "\n## Events by kind\n\n| kind | count |\n|---|---|\n";
+  for (const auto& [kind, count] : a.events_by_kind)
+    out << "| " << kind << " | " << count << " |\n";
+
+  out << "\n## Phase attribution (per job)\n\n"
+      << "Seconds of each job's iterations attributed to subtask phases; "
+         "`wait` is lane queueing behind co-tenants, `outside` is JCT spent "
+         "between iterations (profiling queue, regroup parking).\n\n"
+      << "| job | iters | pull | comp | push | reload | wait | ckpt | outside "
+         "| JCT | dominant |\n|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const JobAnalysis& j : a.jobs) {
+    out << "| " << j.job << " | " << j.iterations << " | " << sec(j.phases.pull) << " | "
+        << sec(j.phases.comp) << " | " << sec(j.phases.push) << " | "
+        << sec(j.phases.reload) << " | " << sec(j.phases.wait) << " | "
+        << sec(j.phases.checkpoint) << " | " << sec(j.outside_iterations_sec) << " | "
+        << sec(j.jct_sec) << " | " << j.phases.dominant() << " |\n";
+  }
+
+  const double cluster_total = a.cluster_phases.total();
+  out << "\n## Cluster phase shares\n\n| phase | seconds | share |\n|---|---|---|\n";
+  const auto share_row = [&](const char* name, double v) {
+    out << "| " << name << " | " << sec(v) << " | "
+        << (cluster_total > 0.0 ? pct(v / cluster_total) : pct(0.0)) << " |\n";
+  };
+  share_row("pull", a.cluster_phases.pull);
+  share_row("comp", a.cluster_phases.comp);
+  share_row("push", a.cluster_phases.push);
+  share_row("reload", a.cluster_phases.reload);
+  share_row("wait", a.cluster_phases.wait);
+  share_row("checkpoint", a.cluster_phases.checkpoint);
+
+  out << "\n## Group bound classification\n\n"
+      << "Measured per-window critical path: CPU-bound when the COMP lane out-busies "
+         "the PULL+PUSH lane (Eq. 1's arg-max, from observed busy-time).\n\n"
+      << "| group | machines | lifetime s | cpu busy | net busy | windows | cpu-bound "
+         "| net-bound | switches | predictions | agreement | T_itr err |\n"
+      << "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const GroupAnalysis& g : a.groups) {
+    std::size_t cpu_windows = 0;
+    for (const BoundWindow& w : g.windows) cpu_windows += w.bound == Bound::kCpu;
+    std::size_t scored = 0, agree = 0;
+    double err_sum = 0.0;
+    for (const PredictionCheck& p : g.predictions) {
+      if (!p.measured) continue;
+      ++scored;
+      agree += p.bound_agrees;
+      err_sum += p.titr_rel_error;
+    }
+    out << "| " << g.group << " | " << g.machines << " | "
+        << sec(g.dissolved_sec - g.created_sec) << " | " << pct(g.busy_fraction_cpu)
+        << " | " << pct(g.busy_fraction_net) << " | " << g.windows.size() << " | "
+        << cpu_windows << " | " << (g.windows.size() - cpu_windows) << " | "
+        << g.switches.size() << " | " << g.predictions.size() << " | "
+        << (scored > 0 ? pct(static_cast<double>(agree) / static_cast<double>(scored))
+                       : std::string("n/a"))
+        << " | "
+        << (scored > 0 ? frac(err_sum / static_cast<double>(scored)) : std::string("n/a"))
+        << " |\n";
+  }
+
+  // Bound switches, capped so pathological traces stay readable.
+  std::size_t switch_total = 0;
+  for (const GroupAnalysis& g : a.groups) switch_total += g.switches.size();
+  out << "\n### Bound switches (" << switch_total << ")\n\n";
+  if (switch_total == 0) {
+    out << "none observed\n";
+  } else {
+    out << "| t (s) | group | flip |\n|---|---|---|\n";
+    std::size_t emitted = 0;
+    for (const GroupAnalysis& g : a.groups) {
+      for (const BoundSwitch& s : g.switches) {
+        if (emitted >= 20) break;
+        out << "| " << sec(s.t_sec) << " | " << g.group << " | " << to_string(s.from)
+            << " -> " << to_string(s.to) << " |\n";
+        ++emitted;
+      }
+    }
+    if (switch_total > 20) out << "\n(showing first 20)\n";
+  }
+
+  out << "\n## Model error (Fig. 13 style)\n\n";
+  out << "- predictions recorded: " << a.predictions_total << ", scored: "
+      << a.predictions_scored << "\n";
+  if (a.predictions_scored > 0) {
+    out << "- bound agreement with scheduler decisions: " << pct(a.bound_agreement())
+        << "\n";
+    out << "- mean |T_itr relative error|: " << frac(a.titr_mean_rel_error) << "\n";
+  } else {
+    out << "- no scored predictions (trace lacks kPrediction events or "
+           "post-decision iterations)\n";
+  }
+
+  out << "\n## Utilization timeline\n\n"
+      << "Machine-weighted lane busy fractions per " << sec(a.options.window_sec)
+      << " s window (creation-time DoP approximation).\n\n"
+      << "| t0 (s) | cpu | net | live groups |\n|---|---|---|---|\n";
+  // Downsample long runs to at most 40 rows, deterministically.
+  const std::size_t stride =
+      a.utilization.size() > 40 ? (a.utilization.size() + 39) / 40 : 1;
+  for (std::size_t i = 0; i < a.utilization.size(); i += stride) {
+    const UtilizationWindow& w = a.utilization[i];
+    out << "| " << sec(w.t0_sec) << " | " << pct(w.cpu) << " | " << pct(w.net) << " | "
+        << w.live_groups << " |\n";
+  }
+
+  out << "\n## JCT CDF\n\n| JCT (s) | F |\n|---|---|\n";
+  for (const CdfPoint& p : a.jct_cdf)
+    out << "| " << sec(p.x) << " | " << frac(p.f) << " |\n";
+
+  out << "\n## Stragglers\n\n"
+      << "Jobs with the slowest mean iterations and the subtask chain that "
+         "bounds them.\n\n"
+      << "| job | mean iter (s) | vs cluster mean | bottleneck |\n|---|---|---|---|\n";
+  for (const StragglerRecord& s : a.stragglers) {
+    out << "| " << s.job << " | " << sec(s.mean_iteration_sec) << " | "
+        << frac(s.vs_cluster_mean) << "x | " << s.bottleneck << " |\n";
+  }
+
+  if (!metrics_json.empty()) {
+    out << "\n## Metrics snapshot\n\n| metric | value |\n|---|---|\n";
+    const json::JsonValue doc = json::parse_json(metrics_json);
+    if (doc.contains("counters")) {
+      for (const auto& [name, v] : doc.at("counters").object()) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.0f", v.number());
+        out << "| " << name << " | " << buf << " |\n";
+      }
+    }
+    if (doc.contains("gauges")) {
+      for (const auto& [name, v] : doc.at("gauges").object()) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number());
+        out << "| " << name << " | " << buf << " |\n";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void open_object() { punctuate("{"); }
+  void close_object() {
+    out_ << "}";
+    fresh_ = false;
+  }
+  void open_array() { punctuate("["); }
+  void close_array() {
+    out_ << "]";
+    fresh_ = false;
+  }
+  void key(const char* k) {
+    comma();
+    out_ << "\"" << k << "\":";
+    fresh_ = true;
+  }
+  void value(const std::string& s) { punctuate("\"" + s + "\""); }
+  void value(const char* s) { value(std::string(s)); }
+  // %.17g: exact double round-trip, so JSON consumers can re-check the
+  // reconciliation invariants (Σ phases + outside == JCT) to full precision.
+  void value(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    punctuate(buf);
+  }
+  void value(std::size_t v) { punctuate(std::to_string(v)); }
+  void value(bool v) { punctuate(v ? "true" : "false"); }
+  void raw(const std::string& text) { punctuate(text); }
+
+ private:
+  void comma() {
+    if (!fresh_) out_ << ",";
+    fresh_ = true;
+  }
+  void punctuate(const std::string& tok) {
+    comma();
+    out_ << tok;
+    fresh_ = tok == "{" || tok == "[";
+  }
+
+  std::ostream& out_;
+  bool fresh_ = true;
+};
+
+}  // namespace
+
+void write_json(const RunAnalysis& a, const std::string& metrics_json, std::ostream& out) {
+  JsonWriter w(out);
+  w.open_object();
+  w.key("schema");
+  w.value("harmony-run-report-v1");
+  w.key("clock");
+  w.value(clock_name(a.clock));
+  w.key("events");
+  w.value(a.event_count);
+  w.key("start_sec");
+  w.value(a.start_sec);
+  w.key("end_sec");
+  w.value(a.end_sec);
+  w.key("makespan_sec");
+  w.value(a.makespan_sec);
+  w.key("makespan_source");
+  w.value(a.has_totals ? "run_summary" : "trace");
+  w.key("window_sec");
+  w.value(a.options.window_sec);
+
+  w.key("events_by_kind");
+  w.open_object();
+  for (const auto& [kind, count] : a.events_by_kind) {
+    w.key(kind.c_str());
+    w.value(count);
+  }
+  w.close_object();
+
+  w.key("jobs");
+  w.open_array();
+  for (const JobAnalysis& j : a.jobs) {
+    w.open_object();
+    w.key("job");
+    w.value(static_cast<std::size_t>(j.job));
+    w.key("iterations");
+    w.value(j.iterations);
+    w.key("submit_sec");
+    w.value(j.submit_sec);
+    w.key("finish_sec");
+    w.value(j.finish_sec);
+    w.key("jct_sec");
+    w.value(j.jct_sec);
+    w.key("iteration_total_sec");
+    w.value(j.iteration_total_sec);
+    w.key("mean_iteration_sec");
+    w.value(j.mean_iteration_sec);
+    w.key("outside_iterations_sec");
+    w.value(j.outside_iterations_sec);
+    w.key("dominant_phase");
+    w.value(j.phases.dominant());
+    w.key("phases_sec");
+    w.open_object();
+    w.key("pull");
+    w.value(j.phases.pull);
+    w.key("comp");
+    w.value(j.phases.comp);
+    w.key("push");
+    w.value(j.phases.push);
+    w.key("reload");
+    w.value(j.phases.reload);
+    w.key("wait");
+    w.value(j.phases.wait);
+    w.key("checkpoint");
+    w.value(j.phases.checkpoint);
+    w.close_object();
+    w.close_object();
+  }
+  w.close_array();
+
+  w.key("cluster_phases_sec");
+  w.open_object();
+  w.key("pull");
+  w.value(a.cluster_phases.pull);
+  w.key("comp");
+  w.value(a.cluster_phases.comp);
+  w.key("push");
+  w.value(a.cluster_phases.push);
+  w.key("reload");
+  w.value(a.cluster_phases.reload);
+  w.key("wait");
+  w.value(a.cluster_phases.wait);
+  w.key("checkpoint");
+  w.value(a.cluster_phases.checkpoint);
+  w.close_object();
+
+  w.key("groups");
+  w.open_array();
+  for (const GroupAnalysis& g : a.groups) {
+    w.open_object();
+    w.key("group");
+    w.value(static_cast<std::size_t>(g.group));
+    w.key("machines");
+    w.value(g.machines);
+    w.key("created_sec");
+    w.value(g.created_sec);
+    w.key("dissolved_sec");
+    w.value(g.dissolved_sec);
+    w.key("comp_busy_sec");
+    w.value(g.comp_busy_sec);
+    w.key("comm_busy_sec");
+    w.value(g.comm_busy_sec);
+    w.key("busy_fraction_cpu");
+    w.value(g.busy_fraction_cpu);
+    w.key("busy_fraction_net");
+    w.value(g.busy_fraction_net);
+    w.key("windows");
+    w.open_array();
+    for (const BoundWindow& win : g.windows) {
+      w.open_object();
+      w.key("t0_sec");
+      w.value(win.t0_sec);
+      w.key("t1_sec");
+      w.value(win.t1_sec);
+      w.key("comp_busy_sec");
+      w.value(win.comp_busy_sec);
+      w.key("comm_busy_sec");
+      w.value(win.comm_busy_sec);
+      w.key("bound");
+      w.value(to_string(win.bound));
+      w.close_object();
+    }
+    w.close_array();
+    w.key("bound_switches");
+    w.open_array();
+    for (const BoundSwitch& s : g.switches) {
+      w.open_object();
+      w.key("t_sec");
+      w.value(s.t_sec);
+      w.key("from");
+      w.value(to_string(s.from));
+      w.key("to");
+      w.value(to_string(s.to));
+      w.close_object();
+    }
+    w.close_array();
+    w.key("predictions");
+    w.open_array();
+    for (const PredictionCheck& p : g.predictions) {
+      w.open_object();
+      w.key("t_sec");
+      w.value(p.t_sec);
+      w.key("predicted_titr_sec");
+      w.value(p.predicted_titr_sec);
+      w.key("predicted_bound");
+      w.value(to_string(p.predicted_bound));
+      w.key("measured");
+      w.value(p.measured);
+      if (p.measured) {
+        w.key("measured_titr_sec");
+        w.value(p.measured_titr_sec);
+        w.key("measured_bound");
+        w.value(to_string(p.measured_bound));
+        w.key("bound_agrees");
+        w.value(p.bound_agrees);
+        w.key("titr_rel_error");
+        w.value(p.titr_rel_error);
+      }
+      w.close_object();
+    }
+    w.close_array();
+    w.close_object();
+  }
+  w.close_array();
+
+  w.key("model_error");
+  w.open_object();
+  w.key("predictions_total");
+  w.value(a.predictions_total);
+  w.key("predictions_scored");
+  w.value(a.predictions_scored);
+  w.key("bound_agreement");
+  w.value(a.bound_agreement());
+  w.key("titr_mean_rel_error");
+  w.value(a.titr_mean_rel_error);
+  w.close_object();
+
+  w.key("utilization");
+  w.open_array();
+  for (const UtilizationWindow& u : a.utilization) {
+    w.open_object();
+    w.key("t0_sec");
+    w.value(u.t0_sec);
+    w.key("t1_sec");
+    w.value(u.t1_sec);
+    w.key("cpu");
+    w.value(u.cpu);
+    w.key("net");
+    w.value(u.net);
+    w.key("live_groups");
+    w.value(u.live_groups);
+    w.close_object();
+  }
+  w.close_array();
+
+  w.key("jct_cdf");
+  w.open_array();
+  for (const CdfPoint& p : a.jct_cdf) {
+    w.open_object();
+    w.key("jct_sec");
+    w.value(p.x);
+    w.key("f");
+    w.value(p.f);
+    w.close_object();
+  }
+  w.close_array();
+
+  w.key("stragglers");
+  w.open_array();
+  for (const StragglerRecord& s : a.stragglers) {
+    w.open_object();
+    w.key("job");
+    w.value(static_cast<std::size_t>(s.job));
+    w.key("mean_iteration_sec");
+    w.value(s.mean_iteration_sec);
+    w.key("vs_cluster_mean");
+    w.value(s.vs_cluster_mean);
+    w.key("bottleneck");
+    w.value(s.bottleneck);
+    w.close_object();
+  }
+  w.close_array();
+
+  if (!metrics_json.empty()) {
+    // The registry snapshot is already a deterministic, key-sorted JSON
+    // object; validate and embed it verbatim.
+    (void)json::parse_json(metrics_json);
+    w.key("metrics");
+    w.raw(metrics_json);
+  }
+
+  w.close_object();
+  out << "\n";
+}
+
+bool write_report_files(const RunAnalysis& analysis, const std::string& metrics_json,
+                        const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  {
+    std::ofstream md(dir + "/report.md");
+    if (!md) return false;
+    write_markdown(analysis, metrics_json, md);
+    if (!md.flush()) return false;
+  }
+  {
+    std::ofstream js(dir + "/report.json");
+    if (!js) return false;
+    write_json(analysis, metrics_json, js);
+    if (!js.flush()) return false;
+  }
+  return true;
+}
+
+}  // namespace harmony::obs::analysis

@@ -1,0 +1,39 @@
+// Run reports: deterministic Markdown + JSON renderings of a RunAnalysis,
+// plus the loader that turns an exported Chrome trace back into TraceEvents
+// so the harmony-report CLI can analyze a file it did not record.
+//
+// Determinism guarantee: both writers are pure functions of the RunAnalysis
+// and the (already deterministic, key-sorted) metrics snapshot text — fixed
+// formats, sorted entities, no clocks, no locales. Two identical traces
+// produce byte-identical reports; the golden-determinism test pins this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/analysis.h"
+
+namespace harmony::obs::analysis {
+
+// Parses a Chrome trace-event JSON document (the Tracer::write_chrome_trace
+// format) back into events. Metadata records are skipped; unknown event
+// names throw std::runtime_error, as does malformed JSON.
+std::vector<TraceEvent> events_from_chrome_trace(const std::string& json_text);
+
+// Human-facing Markdown run report. `metrics_json` is a MetricsRegistry
+// snapshot to fold in (selected counters/gauges), or "" for none.
+void write_markdown(const RunAnalysis& analysis, const std::string& metrics_json,
+                    std::ostream& out);
+
+// Machine-facing JSON run report (schema "harmony-run-report-v1"); the
+// metrics snapshot is embedded verbatim under "metrics" when present.
+void write_json(const RunAnalysis& analysis, const std::string& metrics_json,
+                std::ostream& out);
+
+// Writes <dir>/report.md and <dir>/report.json (creating `dir` if needed).
+// Returns false on I/O failure.
+bool write_report_files(const RunAnalysis& analysis, const std::string& metrics_json,
+                        const std::string& dir);
+
+}  // namespace harmony::obs::analysis

@@ -51,6 +51,28 @@ Histogram HistogramMetric::histogram() const {
   return hist_;
 }
 
+double HistogramMetric::percentile(double q) const {
+  std::scoped_lock lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count]; walk the bins until the cumulative mass covers it,
+  // then interpolate linearly inside the covering bin.
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  const auto& counts = hist_.bins();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (c > 0.0 && cumulative + c >= target) {
+      const double frac = std::clamp((target - cumulative) / c, 0.0, 1.0);
+      const double lo = hist_.bin_lo(i);
+      const double hi = hist_.bin_hi(i);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cumulative += c;
+  }
+  return max_;
+}
+
 void HistogramMetric::reset() {
   std::scoped_lock lock(mu_);
   hist_ = Histogram(lo_, hi_, bins_);
@@ -142,7 +164,10 @@ std::string MetricsRegistry::snapshot_json() const {
     first = false;
     out += "    \"" + name + "\": {\"count\": " + std::to_string(h->count()) +
            ", \"sum\": " + json_double(h->sum()) + ", \"min\": " + json_double(h->min()) +
-           ", \"max\": " + json_double(h->max()) + ", \"bin_lo\": " +
+           ", \"max\": " + json_double(h->max()) + ", \"p50\": " +
+           json_double(h->percentile(0.50)) + ", \"p95\": " +
+           json_double(h->percentile(0.95)) + ", \"p99\": " +
+           json_double(h->percentile(0.99)) + ", \"bin_lo\": " +
            json_double(hist.bin_lo(0)) + ", \"bin_hi\": " +
            json_double(hist.bin_hi(hist.bins().size() - 1)) + ", \"bins\": [";
     for (std::size_t i = 0; i < hist.bins().size(); ++i) {

@@ -57,6 +57,11 @@ class HistogramMetric {
   double min() const;
   double max() const;
   Histogram histogram() const;  // copy of the current bin state
+  // Quantile estimate, q in [0, 1], linearly interpolated within bins (each
+  // bin's mass is assumed uniform over its width). The estimate is clamped to
+  // the observed [min, max] envelope, which also makes the edge bins exact
+  // when out-of-range samples were clamped into them. Returns 0 when empty.
+  double percentile(double q) const;
   void reset();
 
  private:

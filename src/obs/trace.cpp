@@ -40,8 +40,27 @@ const char* to_string(EventKind kind) noexcept {
       return "group_dissolve";
     case EventKind::kOom:
       return "oom";
+    case EventKind::kPrediction:
+      return "prediction";
   }
   return "?";
+}
+
+bool kind_from_string(std::string_view name, EventKind& kind) noexcept {
+  constexpr EventKind kAll[] = {
+      EventKind::kSubtaskComp, EventKind::kSubtaskPull,   EventKind::kSubtaskPush,
+      EventKind::kIteration,   EventKind::kReload,        EventKind::kCheckpoint,
+      EventKind::kSchedule,    EventKind::kRegroup,       EventKind::kSpill,
+      EventKind::kGroupCreate, EventKind::kGroupDissolve, EventKind::kOom,
+      EventKind::kPrediction,
+  };
+  for (EventKind k : kAll) {
+    if (name == to_string(k)) {
+      kind = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 Tracer& Tracer::instance() {
@@ -104,6 +123,20 @@ void Tracer::instant(EventKind kind, ClockDomain clock, double ts_us, std::uint3
   e.group = group;
   e.machine = machine;
   e.bytes = bytes;
+  instance().record_enabled(e);
+}
+
+void Tracer::prediction(ClockDomain clock, double ts_us, std::uint32_t group,
+                        double predicted_titr_us, bool cpu_bound) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.ts_us = ts_us;
+  e.kind = EventKind::kPrediction;
+  e.phase = Phase::kInstant;
+  e.clock = clock;
+  e.group = group;
+  e.bytes = cpu_bound ? 1 : 0;
+  e.value = predicted_titr_us;
   instance().record_enabled(e);
 }
 
@@ -208,6 +241,12 @@ void append_args(std::string& out, const TraceEvent& e) {
   if (e.group != kNoEntity) field("group", e.group);
   if (e.machine != kNoEntity) field("machine", e.machine);
   if (e.bytes != 0) field("bytes", e.bytes);
+  if (e.value != 0.0) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"value\":%.3f", e.value);
+    out += buf;
+  }
   out += '}';
 }
 

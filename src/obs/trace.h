@@ -44,9 +44,15 @@ enum class EventKind : std::uint8_t {
   kGroupCreate,    // group materialized (instant)
   kGroupDissolve,  // group drained and dissolved (instant)
   kOom,            // group crossed the OOM occupancy line (instant)
+  kPrediction,     // scheduler perf-model prediction for a group (instant;
+                   // value = predicted T_itr in us, bytes = 1 if the model
+                   // says CPU-bound, 0 if network-bound)
 };
 
 const char* to_string(EventKind kind) noexcept;
+
+// Inverse of to_string; false when `name` matches no event kind.
+bool kind_from_string(std::string_view name, EventKind& kind) noexcept;
 
 enum class Phase : std::uint8_t { kComplete, kInstant };
 
@@ -64,6 +70,7 @@ struct TraceEvent {
   std::uint32_t group = kNoEntity;    // maps to a track in the sim domain
   std::uint32_t machine = kNoEntity;  // maps to a track in the wall domain
   std::uint64_t bytes = 0;            // payload size where meaningful
+  double value = 0.0;                 // kind-specific scalar (kPrediction: T_itr us)
 };
 
 class Tracer {
@@ -90,6 +97,12 @@ class Tracer {
   static void instant(EventKind kind, ClockDomain clock, double ts_us,
                       std::uint32_t job = kNoEntity, std::uint32_t group = kNoEntity,
                       std::uint32_t machine = kNoEntity, std::uint64_t bytes = 0);
+
+  // Perf-model cross-check hook: records the scheduler's prediction for a
+  // group (kPrediction instant) so offline analysis can score the model
+  // against what actually happened (Fig. 13-style model-error reports).
+  static void prediction(ClockDomain clock, double ts_us, std::uint32_t group,
+                         double predicted_titr_us, bool cpu_bound);
 
   // Wall-clock microseconds since the tracer was first touched (steady clock,
   // so wall-domain spans are monotone and comparable within a process).

@@ -185,6 +185,58 @@ TEST(MetricsRegistryTest, HistogramTracksAggregates) {
   EXPECT_EQ(&reg.histogram("test.hist", 0.0, 1.0, 2), &h);
 }
 
+TEST(MetricsRegistryTest, PercentileOnUniformDistribution) {
+  auto& h = MetricsRegistry::instance().histogram("test.pct_uniform", 0.0, 100.0, 100);
+  h.reset();
+  // 1000 samples spread uniformly over [0, 100): ten per one-unit bin.
+  for (int i = 0; i < 1000; ++i) h.observe((i + 0.5) / 10.0);
+  // With uniform mass, linear interpolation recovers the quantile to within
+  // the sub-bin spacing.
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 0.2);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 0.2);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 0.2);
+  // Extremes clamp to the observed envelope.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(MetricsRegistryTest, PercentileOnPointMassAndSkew) {
+  auto& point = MetricsRegistry::instance().histogram("test.pct_point", 0.0, 10.0, 10);
+  point.reset();
+  for (int i = 0; i < 100; ++i) point.observe(4.2);
+  // Every quantile of a point mass is the point: the clamp to [min, max]
+  // makes the bin interpolation exact.
+  EXPECT_DOUBLE_EQ(point.percentile(0.01), 4.2);
+  EXPECT_DOUBLE_EQ(point.percentile(0.50), 4.2);
+  EXPECT_DOUBLE_EQ(point.percentile(0.99), 4.2);
+
+  auto& skew = MetricsRegistry::instance().histogram("test.pct_skew", 0.0, 10.0, 10);
+  skew.reset();
+  // 90 samples in [0, 1), 10 in [9, 10): p50 sits in the first bin, p95 in
+  // the last.
+  for (int i = 0; i < 90; ++i) skew.observe(0.5);
+  for (int i = 0; i < 10; ++i) skew.observe(9.5);
+  EXPECT_LT(skew.percentile(0.50), 1.0);
+  EXPECT_GT(skew.percentile(0.95), 9.0);
+
+  auto& empty = MetricsRegistry::instance().histogram("test.pct_empty", 0.0, 1.0, 4);
+  empty.reset();
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonCarriesPercentiles) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  auto& h = reg.histogram("test.pct_snapshot", 0.0, 100.0, 100);
+  h.reset();
+  for (int i = 0; i < 1000; ++i) h.observe((i + 0.5) / 10.0);
+  const auto doc = parse_json(reg.snapshot_json());
+  const auto& hist = doc.at("histograms").at("test.pct_snapshot");
+  EXPECT_NEAR(hist.at("p50").number(), 50.0, 0.2);
+  EXPECT_NEAR(hist.at("p95").number(), 95.0, 0.2);
+  EXPECT_NEAR(hist.at("p99").number(), 99.0, 0.2);
+}
+
 TEST(MetricsRegistryTest, CounterUpdatesAreThreadSafe) {
   auto& c = MetricsRegistry::instance().counter("test.mt_counter");
   c.reset();
@@ -258,6 +310,78 @@ TEST(MetricsRegistryTest, BenchReportAttachKeepsJsonValid) {
 
 TEST(MetricsRegistryTest, BenchReportAttachRejectsMissingFile) {
   EXPECT_FALSE(bench::attach_metrics_snapshot("/nonexistent/dir/report.json"));
+}
+
+namespace {
+
+std::string attach_fixture_path() {
+  return (::testing::TempDir().empty() ? std::string("/tmp/") : ::testing::TempDir()) +
+         "harmony_bench_attach_edge.json";
+}
+
+std::string write_and_attach(const std::string& content, bool* ok) {
+  const std::string path = attach_fixture_path();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+  *ok = bench::attach_metrics_snapshot(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  return buf.str();
+}
+
+}  // namespace
+
+TEST(MetricsRegistryTest, BenchReportAttachHandlesEmptyRootObject) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("attach.empty_root").add(3);
+  // An empty root object must gain the member with no leading comma.
+  bool ok = false;
+  const std::string result = write_and_attach("{}\n", &ok);
+  ASSERT_TRUE(ok);
+  const auto doc = parse_json(result);
+  EXPECT_DOUBLE_EQ(
+      doc.at("harmony_metrics").at("counters").at("attach.empty_root").number(), 3.0);
+
+  // Same with interior whitespace in the empty object.
+  const std::string spaced = write_and_attach("{  \n }\n", &ok);
+  ASSERT_TRUE(ok);
+  parse_json(spaced);  // throws on invalid splice
+}
+
+TEST(MetricsRegistryTest, BenchReportAttachRejectsNonObjectDocuments) {
+  bool ok = true;
+  // A JSON array ends in ']': no root object brace to splice before.
+  write_and_attach("[1, 2, 3]\n", &ok);
+  EXPECT_FALSE(ok);
+  // A '}' that is not the document's final token must not be spliced into.
+  write_and_attach("{\"a\": 1} trailing junk\n", &ok);
+  EXPECT_FALSE(ok);
+  // Non-JSON content without any brace.
+  write_and_attach("hello world\n", &ok);
+  EXPECT_FALSE(ok);
+  // A lone closing brace is not an object.
+  write_and_attach("}\n", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(MetricsRegistryTest, BenchReportAttachLeavesRejectedFileUntouched) {
+  const std::string path = attach_fixture_path();
+  const std::string original = "[\"not\", \"an\", \"object\"]\n";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << original;
+  }
+  EXPECT_FALSE(bench::attach_metrics_snapshot(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), original);
+  std::remove(path.c_str());
 }
 
 }  // namespace

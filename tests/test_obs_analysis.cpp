@@ -1,0 +1,323 @@
+// Trace analysis engine tests: exact phase attribution and reconciliation on
+// hand-built traces, bound classification and switch detection, prediction
+// scoring, the Chrome-trace loader round-trip, and the golden-determinism
+// pin — the full report is byte-identical across two runs of the same seeded
+// simulation, and the measured bounds agree with the scheduler's decisions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/arrivals.h"
+#include "exp/cluster_sim.h"
+#include "exp/workload.h"
+#include "obs/analysis/analysis.h"
+#include "obs/analysis/report.h"
+#include "obs/trace.h"
+
+namespace harmony::obs::analysis {
+namespace {
+
+TraceEvent span(EventKind kind, double t0_sec, double t1_sec, std::uint32_t job,
+                std::uint32_t group = kNoEntity) {
+  TraceEvent e;
+  e.kind = kind;
+  e.phase = Phase::kComplete;
+  e.clock = ClockDomain::kSim;
+  e.ts_us = t0_sec * 1e6;
+  e.dur_us = (t1_sec - t0_sec) * 1e6;
+  e.job = job;
+  e.group = group;
+  return e;
+}
+
+TraceEvent instant(EventKind kind, double t_sec, std::uint32_t job,
+                   std::uint32_t group = kNoEntity, std::uint64_t bytes = 0,
+                   double value = 0.0) {
+  TraceEvent e;
+  e.kind = kind;
+  e.phase = Phase::kInstant;
+  e.clock = ClockDomain::kSim;
+  e.ts_us = t_sec * 1e6;
+  e.job = job;
+  e.group = group;
+  e.bytes = bytes;
+  e.value = value;
+  return e;
+}
+
+// One job, one group, two iterations with a checkpoint pause between them.
+// Every phase length is chosen by hand so attribution is exactly checkable.
+std::vector<TraceEvent> two_iteration_trace() {
+  std::vector<TraceEvent> ev;
+  ev.push_back(instant(EventKind::kGroupCreate, 0.0, kNoEntity, 0, /*machines=*/4));
+  // Iteration 1, [0, 100]: pull 10 + comp 60 + push 10 -> wait residual 20.
+  ev.push_back(span(EventKind::kIteration, 0.0, 100.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPull, 0.0, 10.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskComp, 10.0, 70.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPush, 70.0, 80.0, 0, 0));
+  // Checkpoint pause between iterations, [100, 105].
+  ev.push_back(span(EventKind::kCheckpoint, 100.0, 105.0, 0, 0));
+  // Iteration 2, [105, 185]: pull 10 + comp 50 + push 10 + reload 5 -> wait 5.
+  ev.push_back(span(EventKind::kIteration, 105.0, 185.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPull, 105.0, 115.0, 0, 0));
+  ev.push_back(span(EventKind::kReload, 115.0, 120.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskComp, 120.0, 170.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPush, 170.0, 180.0, 0, 0));
+  ev.push_back(instant(EventKind::kGroupDissolve, 185.0, kNoEntity, 0));
+  return ev;
+}
+
+TEST(PhaseAttribution, ExactBreakdownOnHandBuiltTrace) {
+  const RunAnalysis a = analyze(two_iteration_trace());
+  ASSERT_EQ(a.jobs.size(), 1u);
+  const JobAnalysis& job = a.jobs[0];
+  EXPECT_EQ(job.job, 0u);
+  EXPECT_EQ(job.iterations, 2u);
+  EXPECT_NEAR(job.phases.pull, 20.0, 1e-9);
+  EXPECT_NEAR(job.phases.comp, 110.0, 1e-9);
+  EXPECT_NEAR(job.phases.push, 20.0, 1e-9);
+  EXPECT_NEAR(job.phases.reload, 5.0, 1e-9);
+  EXPECT_NEAR(job.phases.checkpoint, 5.0, 1e-9);
+  EXPECT_NEAR(job.phases.wait, 25.0, 1e-9);  // 20 in iter 1 + 5 in iter 2
+  EXPECT_NEAR(job.iteration_total_sec, 180.0, 1e-9);
+  EXPECT_NEAR(job.mean_iteration_sec, 90.0, 1e-9);
+  // The attribution invariant: phases sum to iteration wall time plus
+  // checkpoint pauses, exactly.
+  EXPECT_NEAR(job.phases.total(), job.iteration_total_sec + job.phases.checkpoint, 1e-9);
+  EXPECT_STREQ(job.phases.dominant(), "comp");
+  // Cluster totals are the per-job sums (single job here).
+  EXPECT_NEAR(a.cluster_phases.total(), job.phases.total(), 1e-9);
+}
+
+TEST(PhaseAttribution, ReconcilesWithRunTotalsWithin1e6) {
+  RunTotals totals;
+  totals.makespan_sec = 200.0;
+  totals.jobs.push_back(RunTotals::JobOutcome{0, 0.0, 190.0});
+  const RunAnalysis a = analyze(two_iteration_trace(), &totals);
+  ASSERT_EQ(a.jobs.size(), 1u);
+  const JobAnalysis& job = a.jobs[0];
+  EXPECT_TRUE(a.has_totals);
+  EXPECT_DOUBLE_EQ(a.makespan_sec, 200.0);
+  EXPECT_DOUBLE_EQ(job.jct_sec, 190.0);
+  // JCT not inside iterations or checkpoints: 190 - 180 - 5 = 5.
+  EXPECT_NEAR(job.outside_iterations_sec, 5.0, 1e-9);
+  EXPECT_NEAR(job.phases.total() + job.outside_iterations_sec, job.jct_sec, 1e-6);
+}
+
+TEST(PhaseAttribution, DominantTieResolvesToEarlierPipelineStage) {
+  PhaseTotals t;
+  t.pull = 3.0;
+  t.comp = 3.0;
+  EXPECT_STREQ(t.dominant(), "pull");
+  t.comp = 3.5;
+  EXPECT_STREQ(t.dominant(), "comp");
+}
+
+TEST(BoundClassify, WindowsAndSwitchesOnHandBuiltTrace) {
+  // Group alive [0, 30); 10-second windows alternate the busier lane:
+  // window 0 comp-heavy, window 1 comm-heavy, window 2 comp-heavy.
+  std::vector<TraceEvent> ev;
+  ev.push_back(instant(EventKind::kGroupCreate, 0.0, kNoEntity, 0, 2));
+  ev.push_back(span(EventKind::kSubtaskComp, 0.0, 9.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPull, 0.0, 2.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskComp, 10.0, 11.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPull, 10.0, 19.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskComp, 20.0, 28.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskPush, 20.0, 21.0, 0, 0));
+  ev.push_back(instant(EventKind::kGroupDissolve, 30.0, kNoEntity, 0));
+
+  AnalysisOptions options;
+  options.window_sec = 10.0;
+  const RunAnalysis a = analyze(std::move(ev), nullptr, options);
+  ASSERT_EQ(a.groups.size(), 1u);
+  const GroupAnalysis& g = a.groups[0];
+  EXPECT_EQ(g.machines, 2u);
+  ASSERT_EQ(g.windows.size(), 3u);
+  EXPECT_EQ(g.windows[0].bound, Bound::kCpu);
+  EXPECT_EQ(g.windows[1].bound, Bound::kNet);
+  EXPECT_EQ(g.windows[2].bound, Bound::kCpu);
+  EXPECT_NEAR(g.windows[0].comp_busy_sec, 9.0, 1e-9);
+  EXPECT_NEAR(g.windows[1].comm_busy_sec, 9.0, 1e-9);
+  ASSERT_EQ(g.switches.size(), 2u);
+  EXPECT_NEAR(g.switches[0].t_sec, 10.0, 1e-9);
+  EXPECT_EQ(g.switches[0].from, Bound::kCpu);
+  EXPECT_EQ(g.switches[0].to, Bound::kNet);
+  EXPECT_NEAR(g.switches[1].t_sec, 20.0, 1e-9);
+  // Lifetime busy-time roll-up: comp 18 s, comm 12 s over a 30 s lifetime.
+  EXPECT_NEAR(g.comp_busy_sec, 18.0, 1e-9);
+  EXPECT_NEAR(g.comm_busy_sec, 12.0, 1e-9);
+  EXPECT_NEAR(g.busy_fraction_cpu, 0.6, 1e-9);
+  EXPECT_NEAR(g.busy_fraction_net, 0.4, 1e-9);
+}
+
+// A CPU-bound prediction followed by enough steady-state iterations to score:
+// measured bound and T_itr both match the prediction exactly.
+TEST(BoundClassify, PredictionScoredAgainstMeasuredWindow) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(instant(EventKind::kGroupCreate, 0.0, kNoEntity, 0, 2));
+  ev.push_back(instant(EventKind::kPrediction, 0.0, kNoEntity, 0, /*cpu=*/1,
+                       /*titr_us=*/10.0 * 1e6));
+  // Warm-up iteration inside the first predicted cycle is excluded.
+  ev.push_back(span(EventKind::kIteration, 2.0, 12.0, 0, 0));
+  for (int i = 0; i < 3; ++i) {
+    const double t0 = 12.0 + 10.0 * i;
+    ev.push_back(span(EventKind::kIteration, t0, t0 + 10.0, 0, 0));
+    ev.push_back(span(EventKind::kSubtaskComp, t0, t0 + 8.0, 0, 0));
+    ev.push_back(span(EventKind::kSubtaskPull, t0, t0 + 2.0, 0, 0));
+  }
+  ev.push_back(instant(EventKind::kGroupDissolve, 60.0, kNoEntity, 0));
+
+  const RunAnalysis a = analyze(std::move(ev));
+  ASSERT_EQ(a.groups.size(), 1u);
+  ASSERT_EQ(a.groups[0].predictions.size(), 1u);
+  const PredictionCheck& p = a.groups[0].predictions[0];
+  EXPECT_NEAR(p.predicted_titr_sec, 10.0, 1e-9);
+  EXPECT_EQ(p.predicted_bound, Bound::kCpu);
+  ASSERT_TRUE(p.measured);
+  EXPECT_NEAR(p.measured_titr_sec, 10.0, 1e-9);
+  EXPECT_EQ(p.measured_bound, Bound::kCpu);
+  EXPECT_TRUE(p.bound_agrees);
+  EXPECT_NEAR(p.titr_rel_error, 0.0, 1e-9);
+  EXPECT_EQ(a.predictions_total, 1u);
+  EXPECT_EQ(a.predictions_scored, 1u);
+  EXPECT_DOUBLE_EQ(a.bound_agreement(), 1.0);
+}
+
+TEST(BoundClassify, PredictionUnscoredWithTooFewIterations) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(instant(EventKind::kGroupCreate, 0.0, kNoEntity, 0, 2));
+  ev.push_back(instant(EventKind::kPrediction, 0.0, kNoEntity, 0, 1, 10.0 * 1e6));
+  ev.push_back(span(EventKind::kIteration, 12.0, 22.0, 0, 0));
+  ev.push_back(span(EventKind::kSubtaskComp, 12.0, 20.0, 0, 0));
+  ev.push_back(instant(EventKind::kGroupDissolve, 30.0, kNoEntity, 0));
+
+  const RunAnalysis a = analyze(std::move(ev));
+  ASSERT_EQ(a.groups.size(), 1u);
+  ASSERT_EQ(a.groups[0].predictions.size(), 1u);
+  EXPECT_FALSE(a.groups[0].predictions[0].measured);
+  EXPECT_EQ(a.predictions_total, 1u);
+  EXPECT_EQ(a.predictions_scored, 0u);
+}
+
+TEST(ChromeLoader, RoundTripsThroughExportedTrace) {
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  for (const TraceEvent& e : two_iteration_trace()) Tracer::record(e);
+  std::ostringstream exported;
+  tracer.write_chrome_trace(exported);
+  tracer.set_enabled(false);
+  tracer.clear();
+
+  const auto reloaded = events_from_chrome_trace(exported.str());
+  const RunAnalysis direct = analyze(two_iteration_trace());
+  const RunAnalysis via_file = analyze(reloaded);
+
+  // The reloaded trace must produce a byte-identical JSON report.
+  std::ostringstream a, b;
+  write_json(direct, "", a);
+  write_json(via_file, "", b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ChromeLoader, RejectsMalformedAndUnknownInput) {
+  EXPECT_THROW(events_from_chrome_trace("not json"), std::runtime_error);
+  EXPECT_THROW(events_from_chrome_trace("{\"noTraceEvents\": []}"), std::runtime_error);
+  EXPECT_THROW(
+      events_from_chrome_trace(
+          R"({"traceEvents": [{"ph": "i", "name": "martian", "cat": "sim", "ts": 0}]})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      events_from_chrome_trace(
+          R"({"traceEvents": [{"ph": "i", "name": "regroup", "cat": "lunar", "ts": 0}]})"),
+      std::runtime_error);
+  // Metadata records are skipped, not rejected.
+  const auto events = events_from_chrome_trace(
+      R"({"traceEvents": [{"ph": "M", "name": "process_name"},)"
+      R"({"ph": "i", "name": "regroup", "cat": "sim", "ts": 5.0}]})");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kRegroup);
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end against the seeded simulator.
+
+struct SimRun {
+  exp::RunSummary summary;
+  std::vector<TraceEvent> events;
+};
+
+SimRun traced_harmony_run() {
+  auto& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
+  config.machines = 40;
+  auto catalog = exp::make_catalog();
+  catalog.resize(20);
+  exp::ClusterSim sim(config, catalog, exp::batch_arrivals(catalog.size()));
+  SimRun run;
+  run.summary = sim.run();
+  run.events = tracer.snapshot();
+  tracer.set_enabled(false);
+  tracer.clear();
+  return run;
+}
+
+RunTotals totals_of(const exp::RunSummary& summary) {
+  RunTotals totals;
+  totals.makespan_sec = summary.makespan;
+  for (const auto& outcome : summary.jobs)
+    totals.jobs.push_back(
+        RunTotals::JobOutcome{outcome.job, outcome.submit_time, outcome.finish_time});
+  return totals;
+}
+
+TEST(GoldenReport, ByteIdenticalAcrossTwoSeededRuns) {
+  const SimRun first = traced_harmony_run();
+  const SimRun second = traced_harmony_run();
+
+  const RunTotals totals1 = totals_of(first.summary);
+  const RunTotals totals2 = totals_of(second.summary);
+  const RunAnalysis a1 = analyze(first.events, &totals1);
+  const RunAnalysis a2 = analyze(second.events, &totals2);
+
+  std::ostringstream md1, md2, js1, js2;
+  write_markdown(a1, "", md1);
+  write_markdown(a2, "", md2);
+  write_json(a1, "", js1);
+  write_json(a2, "", js2);
+  EXPECT_EQ(md1.str(), md2.str());
+  EXPECT_EQ(js1.str(), js2.str());
+  EXPECT_FALSE(md1.str().empty());
+}
+
+TEST(GoldenReport, ReconcilesAndAgreesWithSchedulerOnGoldenWorkload) {
+  const SimRun run = traced_harmony_run();
+  const RunTotals totals = totals_of(run.summary);
+  const RunAnalysis a = analyze(run.events, &totals);
+
+  // Every job's phase attribution reconciles with its summary JCT.
+  ASSERT_EQ(a.jobs.size(), run.summary.jobs.size());
+  EXPECT_DOUBLE_EQ(a.makespan_sec, run.summary.makespan);
+  for (const JobAnalysis& job : a.jobs) {
+    EXPECT_GT(job.iterations, 0u) << "job " << job.job;
+    EXPECT_NEAR(job.phases.total() + job.outside_iterations_sec, job.jct_sec, 1e-6)
+        << "job " << job.job;
+  }
+
+  // The scheduler's kPrediction instants score against measured behaviour,
+  // and the measured bound agrees with the model's decision on the golden
+  // workload (the Fig. 13 claim, online).
+  EXPECT_GT(a.predictions_total, 0u);
+  EXPECT_GT(a.predictions_scored, 0u);
+  EXPECT_GE(a.bound_agreement(), 0.75);
+  EXPECT_LT(a.titr_mean_rel_error, 0.5);
+}
+
+}  // namespace
+}  // namespace harmony::obs::analysis

@@ -1,0 +1,125 @@
+// harmony_report — offline trace analysis: turns an exported Chrome trace
+// (harmony-sim --chrome-trace, or any Tracer::write_chrome_trace output) into
+// a deterministic run report.
+//
+//   harmony_report TRACE.json [options]
+//     --metrics FILE    fold a metrics-registry JSON snapshot into the report
+//     --out DIR         write DIR/report.md and DIR/report.json
+//     --json            print the JSON report to stdout instead of Markdown
+//     --window SEC      bound-classification / utilization window (default 60)
+//     --help            print this help and exit
+//
+// Without --out the Markdown report goes to stdout (or the JSON report with
+// --json). Output is byte-identical across runs on the same inputs: the
+// analysis is a pure function of the trace, and both writers use fixed
+// formats (the golden-determinism test pins this).
+//
+// Offline analysis has no access to the run's ground-truth summary, so
+// JCT-like quantities are derived from the trace (submit = first event,
+// finish = last event) and the report labels makespan as trace-derived. For
+// reports reconciled against the harness's RunSummary, use
+// `harmony-sim --report DIR`, which feeds the summary in as RunTotals.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/analysis/analysis.h"
+#include "obs/analysis/report.h"
+
+namespace {
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s TRACE.json [--metrics FILE] [--out DIR] [--json]\n"
+               "          [--window SEC] [--help]\n",
+               argv0);
+}
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  print_usage(stderr, argv0);
+  std::exit(2);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_file;
+  std::string metrics_file;
+  std::string out_dir;
+  bool json_to_stdout = false;
+  harmony::obs::analysis::AnalysisOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(argv[0], "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--metrics") {
+      metrics_file = next();
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--json") {
+      json_to_stdout = true;
+    } else if (arg == "--window") {
+      options.window_sec = std::stod(next());
+      if (options.window_sec <= 0.0) usage_error(argv[0], "--window must be positive");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error(argv[0], "unknown option '" + arg + "'");
+    } else if (trace_file.empty()) {
+      trace_file = arg;
+    } else {
+      usage_error(argv[0], "unexpected argument '" + arg + "'");
+    }
+  }
+  if (trace_file.empty()) usage_error(argv[0], "missing trace file");
+
+  std::string trace_text;
+  if (!read_file(trace_file, trace_text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], trace_file.c_str());
+    return 1;
+  }
+  std::string metrics_text;
+  if (!metrics_file.empty() && !read_file(metrics_file, metrics_text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], metrics_file.c_str());
+    return 1;
+  }
+
+  try {
+    auto events = harmony::obs::analysis::events_from_chrome_trace(trace_text);
+    const auto analysis =
+        harmony::obs::analysis::analyze(std::move(events), nullptr, options);
+    if (!out_dir.empty()) {
+      if (!harmony::obs::analysis::write_report_files(analysis, metrics_text, out_dir)) {
+        std::fprintf(stderr, "%s: cannot write report to %s\n", argv[0], out_dir.c_str());
+        return 1;
+      }
+      std::printf("report: %zu events -> %s/report.md, %s/report.json\n",
+                  analysis.event_count, out_dir.c_str(), out_dir.c_str());
+    } else if (json_to_stdout) {
+      harmony::obs::analysis::write_json(analysis, metrics_text, std::cout);
+    } else {
+      harmony::obs::analysis::write_markdown(analysis, metrics_text, std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}

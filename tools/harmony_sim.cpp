@@ -17,6 +17,10 @@
 //     --trace                           per-minute cluster snapshots (stderr)
 //     --chrome-trace FILE               write a Chrome trace-event JSON file
 //     --metrics FILE                    write a metrics-registry JSON snapshot
+//     --report DIR                      run the trace analysis engine over the
+//                                       run (implies tracing) and write
+//                                       DIR/report.md + DIR/report.json,
+//                                       reconciled against the run summary
 //     --log-level debug|info|warn|error minimum log severity  (default warn)
 //     --help                            print this help and exit
 //
@@ -34,6 +38,8 @@
 #include "exp/arrivals.h"
 #include "exp/cluster_sim.h"
 #include "exp/workload.h"
+#include "obs/analysis/analysis.h"
+#include "obs/analysis/report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -47,7 +53,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--arrival batch|poisson:SEC|trace:SEC] [--seed S]\n"
                "          [--spill on|off] [--naive-seed S] [--error F]\n"
                "          [--timeline] [--validate] [--trace]\n"
-               "          [--chrome-trace FILE] [--metrics FILE]\n"
+               "          [--chrome-trace FILE] [--metrics FILE] [--report DIR]\n"
                "          [--log-level debug|info|warn|error] [--help]\n",
                argv0);
 }
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   std::string arrival = "batch";
   std::string chrome_trace_file;
   std::string metrics_file;
+  std::string report_dir;
   std::size_t jobs = 80;
   bool timeline = false;
 
@@ -108,6 +115,8 @@ int main(int argc, char** argv) {
       chrome_trace_file = next();
     } else if (arg == "--metrics") {
       metrics_file = next();
+    } else if (arg == "--report") {
+      report_dir = next();
     } else if (arg == "--log-level") {
       const std::string level = next();
       if (level == "debug") {
@@ -126,7 +135,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!chrome_trace_file.empty()) obs::Tracer::instance().set_enabled(true);
+  if (!chrome_trace_file.empty() || !report_dir.empty())
+    obs::Tracer::instance().set_enabled(true);
 
   if (policy == "isolated") {
     const auto seed = config.seed;
@@ -226,6 +236,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("metrics snapshot    -> %s\n", metrics_file.c_str());
+  }
+  if (!report_dir.empty()) {
+    // The trace carries what happened; the summary carries the ground-truth
+    // totals the analysis reconciles against (makespan, per-job JCTs).
+    obs::analysis::RunTotals totals;
+    totals.makespan_sec = summary.makespan;
+    totals.jobs.reserve(summary.jobs.size());
+    for (const auto& outcome : summary.jobs)
+      totals.jobs.push_back(obs::analysis::RunTotals::JobOutcome{
+          static_cast<std::uint32_t>(outcome.job), outcome.submit_time,
+          outcome.finish_time});
+    const auto analysis =
+        obs::analysis::analyze(obs::Tracer::instance().snapshot(), &totals);
+    if (!obs::analysis::write_report_files(
+            analysis, obs::MetricsRegistry::instance().snapshot_json(), report_dir)) {
+      std::fprintf(stderr, "%s: cannot write report to %s\n", argv[0], report_dir.c_str());
+      return 1;
+    }
+    std::printf("run report          %zu events -> %s/report.md\n", analysis.event_count,
+                report_dir.c_str());
   }
   return 0;
 }

@@ -16,6 +16,13 @@ Project rules (always run, no dependencies beyond the stdlib):
                    `using namespace` at file scope; no `#include "../..."`
                    parent-relative includes anywhere (include paths are rooted
                    at src/).
+  read-only-analysis
+                   src/obs/analysis is a pure interpretation layer: it derives
+                   reports from trace/metrics snapshots and must never touch
+                   the live observability state. Referencing the Tracer or
+                   MetricsRegistry singletons (or their mutators) from
+                   analysis code is banned, so running an analysis can never
+                   perturb the measurement it analyzes.
 
 clang-tidy (best effort): when a compile_commands.json is available (pass
 --build-dir, or let the script probe build*/), and a clang-tidy binary exists,
@@ -52,6 +59,11 @@ NONDET_PATTERNS = [
     (re.compile(r"std::random_device"), "std::random_device breaks reproducibility; use a fixed seed"),
     (re.compile(r"std::mt19937(?:_64)?\s+\w+\s*;"), "unseeded std::mt19937 engine; construct with an explicit seed"),
 ]
+
+# The analysis layer may use the TraceEvent/EventKind vocabulary but not the
+# live singletons or anything that mutates them.
+ANALYSIS_DIR = "src/obs/analysis"
+ANALYSIS_BANNED = re.compile(r"Tracer\s*::|MetricsRegistry|set_enabled\s*\(")
 
 NAKED_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
 NAKED_DELETE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_*(]")
@@ -159,6 +171,11 @@ def lint_file(path: str, findings: Findings):
             for pattern, message in NONDET_PATTERNS:
                 if pattern.search(code):
                     findings.add(path, line_no, "nondeterminism", message)
+
+        if rel.startswith(ANALYSIS_DIR) and ANALYSIS_BANNED.search(code):
+            findings.add(path, line_no, "read-only-analysis",
+                         "analysis code must not touch the live Tracer/"
+                         "MetricsRegistry; it only consumes snapshots")
 
     if is_header and not saw_pragma_once:
         findings.add(path, 1, "header-hygiene", "header is missing #pragma once")
