@@ -22,8 +22,13 @@ constexpr double kOomSlowdownCap = 8.0;
 // Simulated seconds -> trace microseconds.
 constexpr double kTraceUs = 1e6;
 
-double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+// Scheduler wall-cost accounting only: these readings are *reported* (how
+// long did the solver take on this host) and never feed back into simulated
+// time, so the determinism of the simulation itself is unaffected.
+using WallClock = std::chrono::steady_clock;  // lint: allow-nondeterminism
+
+double wall_seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
 }
 }  // namespace
 
@@ -805,7 +810,7 @@ void ClusterSim::schedule_on_spare_machines() {
   const auto idle = idle_sched_jobs();
   if (idle.empty()) return;
   scheduling_spare_ = true;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
   const core::ScheduleDecision decision = scheduler_.schedule(idle, spare);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
@@ -972,7 +977,7 @@ void ClusterSim::on_job_profiled(SimJob& job) {
   // Steady state (§IV-B4 arrival rule).
   const auto idle = idle_sched_jobs();
   const auto groups_view = running_groups_view();
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
   const core::RegroupAction action =
       regrouper_.on_job_arrival(sched_view(job), idle, groups_view);
   sched_wall_seconds_ += wall_seconds_since(t0);
@@ -1039,7 +1044,7 @@ void ClusterSim::run_initial_harmony_schedule() {
   if (pool.empty()) return;
 
   const std::size_t total_machines = config_.machines;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
   core::ScheduleDecision decision = scheduler_.schedule(pool, total_machines);
   sched_wall_seconds_ += wall_seconds_since(t0);
   ++sched_invocations_;
@@ -1147,7 +1152,7 @@ void ClusterSim::on_job_finished(SimJob& job) {
     if (view_groups[i] == job.last_group) group_index = i;
 
   const auto idle = idle_sched_jobs();
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = WallClock::now();
   const core::RegroupAction action = regrouper_.on_job_finish(
       sched_view(job), group_index, idle, groups_view, free_machines_);
   sched_wall_seconds_ += wall_seconds_since(t0);

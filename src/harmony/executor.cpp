@@ -23,7 +23,7 @@ SubtaskExecutor::~SubtaskExecutor() {
 
 void SubtaskExecutor::stop_lane(Lane& lane) {
   {
-    std::scoped_lock lock(lane.mu);
+    common::MutexLock lock(lane.mu);
     lane.stopping = true;
   }
   lane.cv.notify_all();
@@ -32,7 +32,7 @@ void SubtaskExecutor::stop_lane(Lane& lane) {
 void SubtaskExecutor::submit(Subtask subtask) {
   Lane& lane = subtask.type == SubtaskType::kComp ? cpu_ : net_;
   {
-    std::scoped_lock lock(lane.mu);
+    common::MutexLock lock(lane.mu);
     lane.queue.push_back(std::move(subtask));
   }
   lane.cv.notify_one();
@@ -42,8 +42,8 @@ void SubtaskExecutor::worker_loop(Lane& lane) {
   for (;;) {
     Subtask task;
     {
-      std::unique_lock lock(lane.mu);
-      lane.cv.wait(lock, [&] { return lane.stopping || !lane.queue.empty(); });
+      common::MutexLock lock(lane.mu);
+      while (!lane.stopping && lane.queue.empty()) lane.cv.wait(lane.mu);
       if (lane.stopping && lane.queue.empty()) return;
       task = std::move(lane.queue.front());
       lane.queue.pop_front();
@@ -57,7 +57,7 @@ void SubtaskExecutor::worker_loop(Lane& lane) {
     } catch (const std::exception& e) {
       std::function<void(JobId, const std::string&)> handler;
       {
-        std::scoped_lock lock(failure_mu_);
+        common::MutexLock lock(failure_mu_);
         ++failures_;
         handler = failure_handler_;
       }
@@ -72,7 +72,7 @@ void SubtaskExecutor::worker_loop(Lane& lane) {
     }
     if (task.on_complete) task.on_complete();
     {
-      std::scoped_lock lock(lane.mu);
+      common::MutexLock lock(lane.mu);
       --lane.running;
       ++lane.done;
       if (lane.queue.empty() && lane.running == 0) lane.idle_cv.notify_all();
@@ -82,35 +82,35 @@ void SubtaskExecutor::worker_loop(Lane& lane) {
 
 void SubtaskExecutor::drain() {
   for (Lane* lane : {&cpu_, &net_}) {
-    std::unique_lock lock(lane->mu);
-    lane->idle_cv.wait(lock, [&] { return lane->queue.empty() && lane->running == 0; });
+    common::MutexLock lock(lane->mu);
+    while (!lane->queue.empty() || lane->running != 0) lane->idle_cv.wait(lane->mu);
   }
 }
 
 std::size_t SubtaskExecutor::cpu_queue_length() const {
-  std::scoped_lock lock(cpu_.mu);
+  common::MutexLock lock(cpu_.mu);
   return cpu_.queue.size();
 }
 
 std::size_t SubtaskExecutor::net_queue_length() const {
-  std::scoped_lock lock(net_.mu);
+  common::MutexLock lock(net_.mu);
   return net_.queue.size();
 }
 
 std::uint64_t SubtaskExecutor::completed(SubtaskType type) const {
   const Lane& lane = type == SubtaskType::kComp ? cpu_ : net_;
-  std::scoped_lock lock(lane.mu);
+  common::MutexLock lock(lane.mu);
   return lane.done;
 }
 
 std::uint64_t SubtaskExecutor::failures() const {
-  std::scoped_lock lock(failure_mu_);
+  common::MutexLock lock(failure_mu_);
   return failures_;
 }
 
 void SubtaskExecutor::set_failure_handler(
     std::function<void(JobId, const std::string&)> handler) {
-  std::scoped_lock lock(failure_mu_);
+  common::MutexLock lock(failure_mu_);
   failure_handler_ = std::move(handler);
 }
 

@@ -10,14 +10,13 @@
 //    actively transferring.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "harmony/subtask.h"
 
 namespace harmony::core {
@@ -61,13 +60,15 @@ class SubtaskExecutor {
 
  private:
   struct Lane {
-    mutable std::mutex mu;
-    std::condition_variable cv;        // wakes workers
-    std::condition_variable idle_cv;   // wakes drain()
-    std::deque<Subtask> queue;
-    std::size_t running = 0;
-    std::uint64_t done = 0;
-    bool stopping = false;
+    mutable common::Mutex mu;
+    common::CondVar cv;       // wakes workers
+    common::CondVar idle_cv;  // wakes drain()
+    std::deque<Subtask> queue GUARDED_BY(mu);
+    std::size_t running GUARDED_BY(mu) = 0;
+    std::uint64_t done GUARDED_BY(mu) = 0;
+    bool stopping GUARDED_BY(mu) = false;
+    // Touched only from the ctor (spawn) and dtor (jthread joins): never
+    // concurrently with the worker threads it holds.
     std::vector<std::jthread> workers;
   };
 
@@ -77,9 +78,9 @@ class SubtaskExecutor {
   Lane cpu_;
   Lane net_;
 
-  mutable std::mutex failure_mu_;
-  std::uint64_t failures_ = 0;
-  std::function<void(JobId, const std::string&)> failure_handler_;
+  mutable common::Mutex failure_mu_;
+  std::uint64_t failures_ GUARDED_BY(failure_mu_) = 0;
+  std::function<void(JobId, const std::string&)> failure_handler_ GUARDED_BY(failure_mu_);
 };
 
 }  // namespace harmony::core

@@ -13,7 +13,9 @@
 
 namespace harmony::core {
 
-using Clock = std::chrono::steady_clock;
+// LocalRuntime is the real threaded runtime, so wall-clock timing is the
+// measurement, not a reproducibility leak.
+using Clock = std::chrono::steady_clock;  // lint: allow-nondeterminism
 
 namespace {
 double seconds_since(Clock::time_point t0) {
@@ -76,7 +78,7 @@ LocalRuntime::LocalRuntime(Params params) : params_(params) {
       if (job >= jobs_.size()) return;
       JobRun& jr = *jobs_[job];
       jr.failure_seen.store(true, std::memory_order_relaxed);
-      std::scoped_lock lock(mu_);
+      common::MutexLock lock(mu_);
       if (jr.failure_message.empty()) jr.failure_message = message;
     });
   }
@@ -90,8 +92,8 @@ LocalRuntime::~LocalRuntime() {
 }
 
 void LocalRuntime::wait_idle() {
-  std::unique_lock lock(mu_);
-  all_done_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+  common::MutexLock lock(mu_);
+  while (active_jobs_ != 0) all_done_cv_.wait(mu_);
 }
 
 void LocalRuntime::inject_failure(JobId job) {
@@ -100,7 +102,7 @@ void LocalRuntime::inject_failure(JobId job) {
 
 JobId LocalRuntime::submit(RuntimeJobConfig config) {
   if (!config.app) throw std::invalid_argument("LocalRuntime: null app");
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   if (started_) throw std::logic_error("LocalRuntime: submit after run()");
   auto jr = std::make_unique<JobRun>();
   jr->id = static_cast<JobId>(jobs_.size());
@@ -117,7 +119,7 @@ JobId LocalRuntime::submit(RuntimeJobConfig config) {
 
 void LocalRuntime::run() {
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (started_) throw std::logic_error("LocalRuntime: run() called twice");
     started_ = true;
     active_jobs_ = jobs_.size();
@@ -127,8 +129,8 @@ void LocalRuntime::run() {
     jr->job_start = Clock::now();
     start_iteration(*jr);
   }
-  std::unique_lock lock(mu_);
-  all_done_cv_.wait(lock, [this] { return active_jobs_ == 0; });
+  common::MutexLock lock(mu_);
+  while (active_jobs_ != 0) all_done_cv_.wait(mu_);
 }
 
 void LocalRuntime::submit_phase(JobRun& jr, SubtaskType type,
@@ -220,7 +222,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
       jr.result.failed = true;
       jr.failed_live.store(true, std::memory_order_relaxed);
       {
-        std::scoped_lock lock(mu_);
+        common::MutexLock lock(mu_);
         jr.result.failure_message = jr.failure_message;
       }
       finish_job(jr, /*by_loss=*/false);
@@ -231,7 +233,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
   {
     // The profiler is shared across jobs whose drivers run on different
     // executor threads.
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     profiler_.record(jr.id, executors_.size(), jr.iter_comp, jr.iter_comm);
   }
 
@@ -265,7 +267,7 @@ void LocalRuntime::on_iteration_end(JobRun& jr) {
   // Pause at the iteration boundary, after PUSH, exactly where migration
   // happens in the paper (local subtask state is empty here).
   {
-    std::unique_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (jr.pause_requested) {
       lock.unlock();
       {
@@ -315,7 +317,7 @@ void LocalRuntime::finish_job(JobRun& jr, bool by_loss) {
   const auto iters = static_cast<double>(jr.result.iterations);
   jr.result.avg_comp_seconds = iters > 0 ? jr.comp_accum / iters : 0.0;
   jr.result.avg_comm_seconds = iters > 0 ? jr.comm_accum / iters : 0.0;
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   jr.finished = true;
   --active_jobs_;
   all_done_cv_.notify_all();
@@ -323,16 +325,16 @@ void LocalRuntime::finish_job(JobRun& jr, bool by_loss) {
 
 void LocalRuntime::pause(JobId job) {
   JobRun& jr = *jobs_.at(job);
-  std::unique_lock lock(mu_);
+  common::MutexLock lock(mu_);
   if (jr.finished || jr.paused) return;
   jr.pause_requested = true;
-  all_done_cv_.wait(lock, [&jr] { return jr.paused || jr.finished; });
+  while (!jr.paused && !jr.finished) all_done_cv_.wait(mu_);
 }
 
 void LocalRuntime::resume(JobId job) {
   JobRun& jr = *jobs_.at(job);
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (!jr.paused) throw std::logic_error("LocalRuntime: resuming a job that is not paused");
     jr.paused = false;
     ++active_jobs_;

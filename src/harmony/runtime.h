@@ -17,12 +17,11 @@
 // iteration boundaries, mirroring the migration mechanics of §IV-B4.
 #pragma once
 
-#include <condition_variable>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "harmony/checkpoint.h"
 #include "harmony/executor.h"
 #include "harmony/job.h"
@@ -156,10 +155,14 @@ class LocalRuntime {
 
   std::vector<std::unique_ptr<JobRun>> jobs_;
 
-  std::mutex mu_;
-  std::condition_variable all_done_cv_;
-  std::size_t active_jobs_ = 0;
-  bool started_ = false;
+  // mu_ guards the run lifecycle (active-job accounting, start latch) plus
+  // the shared Profiler and each JobRun's pause-protocol fields; JobRun is
+  // .cpp-private, so its guarded fields carry the contract in comments
+  // rather than GUARDED_BY (the annotation cannot name this mutex there).
+  common::Mutex mu_;
+  common::CondVar all_done_cv_;
+  std::size_t active_jobs_ GUARDED_BY(mu_) = 0;
+  bool started_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace harmony::core

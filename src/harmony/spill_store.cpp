@@ -14,8 +14,10 @@ DiskSpillStore::DiskSpillStore(std::filesystem::path dir) : dir_(std::move(dir))
 }
 
 DiskSpillStore::~DiskSpillStore() {
-  // Spill files are pure cache: clean up on teardown.
+  // Spill files are pure cache: clean up on teardown. Locked even though the
+  // destructor must be externally quiesced — it keeps the analysis airtight.
   std::error_code ec;
+  common::MutexLock lock(mu_);
   for (const auto& [key, size] : sizes_) std::filesystem::remove(path_for(key), ec);
 }
 
@@ -43,7 +45,7 @@ void DiskSpillStore::spill(JobId job, std::size_t block, std::span<const double>
 
   const auto payload = static_cast<std::uint64_t>(data.size() * sizeof(double));
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     auto [it, inserted] = sizes_.try_emplace(key, payload);
     if (!inserted) {
       bytes_on_disk_ -= it->second;
@@ -62,7 +64,7 @@ void DiskSpillStore::spill(JobId job, std::size_t block, std::span<const double>
 std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
   const Key key{job, block};
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     if (!sizes_.contains(key))
       throw std::runtime_error("DiskSpillStore: block was never spilled");
   }
@@ -82,7 +84,7 @@ std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
   auto data = reader.get_doubles();
   const auto payload = static_cast<std::uint64_t>(data.size() * sizeof(double));
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     reloaded_total_ += payload;
   }
   obs::MetricsRegistry::instance().counter("spill.disk_bytes_reloaded").add(payload);
@@ -94,14 +96,14 @@ std::vector<double> DiskSpillStore::reload(JobId job, std::size_t block) {
 }
 
 bool DiskSpillStore::contains(JobId job, std::size_t block) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return sizes_.contains(Key{job, block});
 }
 
 void DiskSpillStore::remove(JobId job, std::size_t block) {
   const Key key{job, block};
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = sizes_.find(key);
     if (it == sizes_.end()) return;
     bytes_on_disk_ -= it->second;
@@ -114,7 +116,7 @@ void DiskSpillStore::remove(JobId job, std::size_t block) {
 void DiskSpillStore::remove_job(JobId job) {
   std::vector<Key> dropped;
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     for (auto it = sizes_.begin(); it != sizes_.end();) {
       if (it->first.job == job) {
         bytes_on_disk_ -= it->second;
@@ -130,22 +132,22 @@ void DiskSpillStore::remove_job(JobId job) {
 }
 
 std::size_t DiskSpillStore::blocks_on_disk() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return sizes_.size();
 }
 
 std::uint64_t DiskSpillStore::bytes_on_disk() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return bytes_on_disk_;
 }
 
 std::uint64_t DiskSpillStore::bytes_spilled_total() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return spilled_total_;
 }
 
 std::uint64_t DiskSpillStore::bytes_reloaded_total() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return reloaded_total_;
 }
 

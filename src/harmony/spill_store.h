@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "check/check.h"
+#include "common/sync.h"
 #include "harmony/job.h"
 
 namespace harmony::core {
@@ -71,11 +71,12 @@ class DiskSpillStore {
   std::filesystem::path path_for(const Key& key) const;
 
   std::filesystem::path dir_;
-  mutable std::mutex mu_;  // guards the ledger below
-  std::unordered_map<Key, std::uint64_t, KeyHash> sizes_;  // payload bytes per block
-  std::uint64_t bytes_on_disk_ = 0;
-  std::uint64_t spilled_total_ = 0;
-  std::uint64_t reloaded_total_ = 0;
+  mutable common::Mutex mu_;  // guards the ledger below
+  // Payload bytes per block.
+  std::unordered_map<Key, std::uint64_t, KeyHash> sizes_ GUARDED_BY(mu_);
+  std::uint64_t bytes_on_disk_ GUARDED_BY(mu_) = 0;
+  std::uint64_t spilled_total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t reloaded_total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace harmony::core

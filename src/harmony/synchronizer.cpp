@@ -8,7 +8,7 @@ namespace harmony::core {
 
 void SubtaskSynchronizer::register_job(JobId job, std::size_t workers) {
   if (workers == 0) throw std::invalid_argument("SubtaskSynchronizer: zero workers");
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto [it, inserted] = jobs_.try_emplace(job);
   if (!inserted && it->second.remaining != 0)
     throw std::logic_error("SubtaskSynchronizer: re-registering job with step in flight");
@@ -18,12 +18,12 @@ void SubtaskSynchronizer::register_job(JobId job, std::size_t workers) {
 }
 
 void SubtaskSynchronizer::unregister_job(JobId job) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   jobs_.erase(job);
 }
 
 void SubtaskSynchronizer::begin_step(JobId job, std::function<void()> on_all_arrived) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = jobs_.find(job);
   if (it == jobs_.end()) throw std::logic_error("SubtaskSynchronizer: unknown job");
   if (it->second.remaining != 0)
@@ -35,7 +35,7 @@ void SubtaskSynchronizer::begin_step(JobId job, std::function<void()> on_all_arr
 void SubtaskSynchronizer::arrive(JobId job) {
   std::function<void()> fire;
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = jobs_.find(job);
     if (it == jobs_.end()) throw std::logic_error("SubtaskSynchronizer: unknown job");
     StepState& step = it->second;
@@ -53,7 +53,7 @@ void SubtaskSynchronizer::arrive(JobId job) {
 }
 
 std::size_t SubtaskSynchronizer::pending(JobId job) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = jobs_.find(job);
   return it == jobs_.end() ? 0 : it->second.remaining;
 }

@@ -6,9 +6,9 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "harmony/job.h"
 
 namespace harmony::core {
@@ -37,8 +37,8 @@ class SubtaskSynchronizer {
     std::function<void()> on_all;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<JobId, StepState> jobs_;
+  mutable common::Mutex mu_;
+  std::unordered_map<JobId, StepState> jobs_ GUARDED_BY(mu_);
 };
 
 }  // namespace harmony::core

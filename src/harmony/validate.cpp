@@ -82,7 +82,7 @@ void validate_block_manager(const BlockManager& blocks, check::Validation& v) {
 }
 
 void validate_spill_store(const DiskSpillStore& store, check::Validation& v) {
-  std::scoped_lock lock(store.mu_);
+  common::MutexLock lock(store.mu_);
   std::uint64_t ledger_sum = 0;
   for (const auto& [key, payload] : store.sizes_) {
     ledger_sum += payload;

@@ -13,7 +13,7 @@ HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bins_(bins), hist_(lo, hi, bins) {}
 
 void HistogramMetric::observe(double x) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   hist_.add(x);
   if (count_ == 0) {
     min_ = x;
@@ -27,32 +27,32 @@ void HistogramMetric::observe(double x) {
 }
 
 std::size_t HistogramMetric::count() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return count_;
 }
 
 double HistogramMetric::sum() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return sum_;
 }
 
 double HistogramMetric::min() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return min_;
 }
 
 double HistogramMetric::max() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return max_;
 }
 
 Histogram HistogramMetric::histogram() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return hist_;
 }
 
 double HistogramMetric::percentile(double q) const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank in [0, count]; walk the bins until the cumulative mass covers it,
@@ -74,7 +74,7 @@ double HistogramMetric::percentile(double q) const {
 }
 
 void HistogramMetric::reset() {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   hist_ = Histogram(lo_, hi_, bins_);
   count_ = 0;
   sum_ = 0.0;
@@ -90,7 +90,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -98,7 +98,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -107,7 +107,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
                                             std::size_t bins) {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -117,7 +117,7 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo, do
 }
 
 void MetricsRegistry::reset() {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -135,7 +135,7 @@ std::string json_double(double v) {
 }  // namespace
 
 std::string MetricsRegistry::snapshot_json() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   char buf[64];

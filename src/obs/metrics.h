@@ -16,11 +16,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/histogram.h"
+#include "common/sync.h"
 
 namespace harmony::obs {
 
@@ -68,12 +68,12 @@ class HistogramMetric {
   double lo_;
   double hi_;
   std::size_t bins_;
-  mutable std::mutex mu_;
-  Histogram hist_;
-  std::size_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable common::Mutex mu_;
+  Histogram hist_ GUARDED_BY(mu_);
+  std::size_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
+  double min_ GUARDED_BY(mu_) = 0.0;
+  double max_ GUARDED_BY(mu_) = 0.0;
 };
 
 class MetricsRegistry {
@@ -100,10 +100,11 @@ class MetricsRegistry {
   bool write_json_file(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace harmony::obs

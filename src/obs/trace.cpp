@@ -82,7 +82,7 @@ Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
   if (cached == nullptr) {
     auto owned = std::make_unique<ThreadBuffer>();
     cached = owned.get();
-    std::scoped_lock lock(registry_mu_);
+    common::MutexLock lock(registry_mu_);
     buffers_.push_back(std::move(owned));
   }
   return *cached;
@@ -90,7 +90,7 @@ Tracer::ThreadBuffer& Tracer::buffer_for_this_thread() {
 
 void Tracer::record_enabled(const TraceEvent& event) {
   ThreadBuffer& buf = buffer_for_this_thread();
-  std::scoped_lock lock(buf.mu);
+  common::MutexLock lock(buf.mu);
   buf.events.push_back(event);
 }
 
@@ -141,19 +141,19 @@ void Tracer::prediction(ClockDomain clock, double ts_us, std::uint32_t group,
 }
 
 std::size_t Tracer::size() const {
-  std::scoped_lock lock(registry_mu_);
+  common::MutexLock lock(registry_mu_);
   std::size_t n = 0;
   for (const auto& buf : buffers_) {
-    std::scoped_lock buf_lock(buf->mu);
+    common::MutexLock buf_lock(buf->mu);
     n += buf->events.size();
   }
   return n;
 }
 
 void Tracer::clear() {
-  std::scoped_lock lock(registry_mu_);
+  common::MutexLock lock(registry_mu_);
   for (const auto& buf : buffers_) {
-    std::scoped_lock buf_lock(buf->mu);
+    common::MutexLock buf_lock(buf->mu);
     buf->events.clear();
   }
 }
@@ -161,9 +161,9 @@ void Tracer::clear() {
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> all;
   {
-    std::scoped_lock lock(registry_mu_);
+    common::MutexLock lock(registry_mu_);
     for (const auto& buf : buffers_) {
-      std::scoped_lock buf_lock(buf->mu);
+      common::MutexLock buf_lock(buf->mu);
       all.insert(all.end(), buf->events.begin(), buf->events.end());
     }
   }

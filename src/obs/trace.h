@@ -23,9 +23,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace harmony::obs {
 
@@ -126,8 +127,8 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable common::Mutex mu;
+    std::vector<TraceEvent> events GUARDED_BY(mu);
   };
 
   Tracer() = default;
@@ -137,8 +138,8 @@ class Tracer {
 
   static std::atomic<bool> g_enabled;
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable common::Mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(registry_mu_);
 };
 
 // RAII wall-clock span: records a complete event on destruction when tracing

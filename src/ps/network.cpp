@@ -17,7 +17,7 @@ void Nic::transfer(std::size_t bytes) {
 
   Clock::time_point done_at;
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     const auto start = std::max(free_at_, Clock::now());
     done_at = start + duration;
     free_at_ = done_at;

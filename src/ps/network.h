@@ -10,10 +10,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace harmony::ps {
 
@@ -38,10 +38,10 @@ class Nic {
 
   double bytes_per_sec_;
   std::string name_;
-  std::mutex mu_;
+  common::Mutex mu_;
   // Time at which the link becomes free; transfers extend it and sleep until
   // their own completion instant (a virtual-time token bucket).
-  Clock::time_point free_at_{};
+  Clock::time_point free_at_ GUARDED_BY(mu_){};
   std::atomic<std::uint64_t> bytes_total_{0};
 };
 

@@ -13,7 +13,7 @@ ServerShard::ServerShard(Range range, ApplyFn apply)
 std::vector<std::byte> ServerShard::serialize_params() const {
   ByteWriter writer;
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
     writer.put_u64(range_.begin);
     writer.put_doubles(params_);
   }
@@ -25,10 +25,10 @@ std::size_t ServerShard::apply_push(std::span<const std::byte> payload) {
   const std::uint64_t begin = reader.get_u64();
   if (begin != range_.begin) throw std::runtime_error("ServerShard: push to wrong shard");
   const std::vector<double> update = reader.get_doubles();
-  if (update.size() != params_.size())
-    throw std::runtime_error("ServerShard: push size mismatch");
   {
-    std::scoped_lock lock(mu_);
+    common::MutexLock lock(mu_);
+    if (update.size() != params_.size())
+      throw std::runtime_error("ServerShard: push size mismatch");
     apply_(params_, update);
     ++pushes_;
   }
@@ -36,14 +36,14 @@ std::size_t ServerShard::apply_push(std::span<const std::byte> payload) {
 }
 
 void ServerShard::load(std::span<const double> values) {
+  common::MutexLock lock(mu_);
   if (values.size() != params_.size())
     throw std::invalid_argument("ServerShard: load size mismatch");
-  std::scoped_lock lock(mu_);
   std::copy(values.begin(), values.end(), params_.begin());
 }
 
 std::vector<double> ServerShard::snapshot() const {
-  std::scoped_lock lock(mu_);
+  common::MutexLock lock(mu_);
   return params_;
 }
 

@@ -2,10 +2,10 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/sync.h"
 #include "ps/partition.h"
 #include "ps/serialization.h"
 
@@ -35,14 +35,17 @@ class ServerShard {
   void load(std::span<const double> values);
   std::vector<double> snapshot() const;
 
-  std::uint64_t pushes_applied() const noexcept { return pushes_; }
+  std::uint64_t pushes_applied() const {
+    common::MutexLock lock(mu_);
+    return pushes_;
+  }
 
  private:
   Range range_;
   ApplyFn apply_;
-  mutable std::mutex mu_;
-  std::vector<double> params_;
-  std::uint64_t pushes_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<double> params_ GUARDED_BY(mu_);
+  std::uint64_t pushes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace harmony::ps

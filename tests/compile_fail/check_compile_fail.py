@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compile-fail harness pinning the clang -Wthread-safety gate.
+
+Every fixture in this directory is valid C++20 (step 1 proves it with the
+host compiler, where the sync.h annotation macros expand away). Fixtures
+whose name is not `clean_usage.cpp` contain exactly one locking bug that
+Clang Thread Safety Analysis must reject: step 2 compiles each with
+`-Wthread-safety -Werror=thread-safety-analysis` and asserts
+
+  * the compile FAILS,
+  * the diagnostic is a thread-safety diagnostic (not some unrelated error),
+  * every `// expect-error:` substring in the fixture appears in stderr.
+
+`clean_usage.cpp` is the control: it must compile warning-free, proving the
+gate does not cry wolf on disciplined code.
+
+Exit codes: 0 = gate works, 1 = gate broken, 77 = clang unavailable (ctest
+SKIP_RETURN_CODE — step 1 still ran, so the fixtures themselves stay valid).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+SKIP = 77
+
+TSA_FLAGS = ["-Wthread-safety", "-Werror=thread-safety-analysis",
+             "-Werror=thread-safety-attributes"]
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(21, 11, -1)]
+
+
+def find_clang():
+    env = os.environ.get("CLANGXX")
+    if env and shutil.which(env):
+        return env
+    for cand in CLANG_CANDIDATES:
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def compile_cmd(compiler, include_dir, path, extra=()):
+    return [compiler, "-std=c++20", "-fsyntax-only", f"-I{include_dir}", *extra, path]
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return proc.returncode, proc.stderr
+
+
+def expected_errors(path):
+    with open(path, encoding="utf-8") as f:
+        return re.findall(r"//\s*expect-error:\s*(.+)", f.read())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--include-dir", required=True, help="repo src/ directory")
+    parser.add_argument("--host-compiler", default=os.environ.get("CXX") or "c++",
+                        help="compiler used to prove fixtures are valid C++")
+    args = parser.parse_args()
+
+    fixtures = sorted(f for f in os.listdir(FIXTURE_DIR) if f.endswith(".cpp"))
+    bad = [f for f in fixtures if f != "clean_usage.cpp"]
+    failures = 0
+
+    # Step 1: every fixture is well-formed C++ without the analysis. A fixture
+    # that fails here would "fail to compile" under clang for the wrong reason
+    # and make step 2 vacuous.
+    host = args.host_compiler if shutil.which(args.host_compiler) else None
+    if host is None:
+        print(f"compile-fail: note: host compiler {args.host_compiler!r} not found; "
+              "skipping the validity pass")
+    else:
+        for name in fixtures:
+            rc, err = run(compile_cmd(host, args.include_dir, os.path.join(FIXTURE_DIR, name)))
+            if rc != 0:
+                failures += 1
+                print(f"compile-fail: FAIL {name}: not valid C++ under {host}:\n{err}")
+            else:
+                print(f"compile-fail: ok   {name}: valid C++ under {host}")
+
+    clang = find_clang()
+    if clang is None:
+        if failures:
+            return 1
+        print("compile-fail: SKIP: no clang++ on PATH (set CLANGXX to override); "
+              "the -Wthread-safety gate needs clang")
+        return SKIP
+
+    # Step 2a: the control fixture compiles clean with the gate on.
+    clean = os.path.join(FIXTURE_DIR, "clean_usage.cpp")
+    rc, err = run(compile_cmd(clang, args.include_dir, clean, TSA_FLAGS))
+    if rc != 0:
+        failures += 1
+        print(f"compile-fail: FAIL clean_usage.cpp: gate rejects disciplined code:\n{err}")
+    else:
+        print(f"compile-fail: ok   clean_usage.cpp: accepted by {clang} with the gate on")
+
+    # Step 2b: every broken fixture is rejected, by a thread-safety diagnostic,
+    # with the expected message.
+    for name in bad:
+        path = os.path.join(FIXTURE_DIR, name)
+        rc, err = run(compile_cmd(clang, args.include_dir, path, TSA_FLAGS))
+        expects = expected_errors(path)
+        problems = []
+        if rc == 0:
+            problems.append("compiled cleanly — the gate missed the bug")
+        if "thread-safety" not in err:
+            problems.append("no thread-safety diagnostic in stderr")
+        problems += [f"missing expected diagnostic {e!r}" for e in expects if e not in err]
+        if problems:
+            failures += 1
+            print(f"compile-fail: FAIL {name}: " + "; ".join(problems) +
+                  (f"\n--- stderr ---\n{err}" if err else ""))
+        else:
+            print(f"compile-fail: ok   {name}: rejected with the expected diagnostic")
+
+    if failures:
+        print(f"compile-fail: {failures} failure(s)")
+        return 1
+    print("compile-fail: gate verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

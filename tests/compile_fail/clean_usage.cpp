@@ -1,0 +1,62 @@
+// Control fixture: disciplined use of every sync.h primitive. Must compile
+// warning-free under clang -Wthread-safety — if this breaks, the wrappers
+// themselves regressed, not a caller.
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) {
+    harmony::common::MutexLock lock(mu_);
+    ++depth_;
+    last_ = v;
+    cv_.notify_one();
+  }
+
+  int pop() {
+    harmony::common::MutexLock lock(mu_);
+    while (depth_ == 0) cv_.wait(mu_);  // guarded reads stay inside the scope
+    --depth_;
+    return last_;
+  }
+
+  int drain_slowly() {
+    harmony::common::MutexLock lock(mu_);
+    const int observed = depth_;
+    lock.unlock();  // drop the lock mid-scope...
+    lock.lock();    // ...and provably reacquire before touching state again
+    depth_ = 0;
+    return observed;
+  }
+
+  int depth() const {
+    harmony::common::MutexLock lock(mu_);
+    return depth_;
+  }
+
+  void reset() REQUIRES(mu_) { depth_ = 0; }
+
+  void reset_synchronized() {
+    harmony::common::MutexLock lock(mu_);
+    reset();
+  }
+
+ private:
+  mutable harmony::common::Mutex mu_;
+  harmony::common::CondVar cv_;
+  int depth_ GUARDED_BY(mu_) = 0;
+  int last_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(7);
+  const int v = q.pop();
+  q.push(1);
+  q.drain_slowly();
+  q.reset_synchronized();
+  return v == 7 && q.depth() == 0 ? 0 : 1;
+}

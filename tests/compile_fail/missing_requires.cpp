@@ -1,0 +1,32 @@
+// Compile-fail fixture: calling a REQUIRES(mu) function without the lock.
+// expect-error: requires holding mutex
+#include "common/sync.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void post_unsynchronized() {
+    apply_locked();  // BAD: caller must hold mu_
+  }
+
+  void post() {
+    harmony::common::MutexLock lock(mu_);
+    apply_locked();
+  }
+
+ private:
+  void apply_locked() REQUIRES(mu_) { ++entries_; }
+
+  harmony::common::Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.post_unsynchronized();
+  ledger.post();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Compile-fail fixture: reading GUARDED_BY state without holding the mutex.
+// Valid C++ (compiles under GCC, where the annotations expand away); under
+// clang -Werror=thread-safety-analysis the unguarded read must be rejected.
+// expect-error: requires holding mutex
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(double amount) {
+    harmony::common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  double balance_unlocked() const {
+    return balance_;  // BAD: mu_ not held
+  }
+
+ private:
+  mutable harmony::common::Mutex mu_;
+  double balance_ GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1.0);
+  return static_cast<int>(account.balance_unlocked());
+}

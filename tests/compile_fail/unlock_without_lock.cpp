@@ -1,0 +1,9 @@
+// Compile-fail fixture: releasing a mutex that is not held.
+// expect-error: releasing mutex
+#include "common/sync.h"
+
+int main() {
+  harmony::common::Mutex mu;
+  mu.unlock();  // BAD: never locked
+  return 0;
+}

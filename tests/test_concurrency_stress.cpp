@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <sstream>
 #include <string>
 #include <filesystem>
 #include <memory>
@@ -22,6 +23,8 @@
 #include "harmony/synchronizer.h"
 #include "harmony/validate.h"
 #include "ml/mlr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/network.h"
 
 namespace harmony::core {
@@ -242,6 +245,86 @@ TEST(ConcurrencyStress, SpillStoreParallelSpillReloadRemove) {
     EXPECT_EQ(store.bytes_on_disk(), 0u);
   }
   fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: reader-heavy snapshots raced against a write storm. The
+// metrics registry and the tracer both promise that snapshotting is safe at
+// any time; this gives tsan concurrent registration (first-use counter
+// lookups), relaxed-atomic updates, per-thread trace buffer creation, and
+// full-registry walks (snapshot_json / snapshot / write_chrome_trace), all
+// overlapping.
+
+TEST(ConcurrencyStress, ObsSnapshotWhileWriting) {
+  obs::MetricsRegistry reg;  // local registry: the test owns its lifecycle
+  auto& tracer = obs::Tracer::instance();
+  const bool was_enabled = obs::Tracer::enabled();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  constexpr int kWriters = 6;
+  constexpr int kOps = 500;
+  std::atomic<bool> stop{false};
+  std::barrier gate(kWriters + 3);  // writers + 2 readers + the main thread
+
+  std::vector<std::jthread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      gate.arrive_and_wait();
+      // Deliberately re-look-up every iteration (instead of caching the
+      // reference as production code does) so name->metric registration
+      // races with the snapshot walks.
+      for (int i = 0; i < kOps; ++i) {
+        reg.counter("stress.ops").add();
+        reg.counter("stress.writer." + std::to_string(w)).add();
+        reg.gauge("stress.depth").set(static_cast<double>(i));
+        reg.histogram("stress.latency_us", 0.0, 1000.0, 32)
+            .observe(static_cast<double>((w * kOps + i) % 1000));
+        obs::Tracer::instant(obs::EventKind::kSchedule, obs::ClockDomain::kWall,
+                             static_cast<double>(i), static_cast<std::uint32_t>(w));
+      }
+    });
+  }
+  // Two readers snapshot continuously while the writers hammer away.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      gate.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string json = reg.snapshot_json();
+        ASSERT_FALSE(json.empty());
+        (void)tracer.size();
+        const auto events = tracer.snapshot();
+        std::ostringstream chrome;
+        tracer.write_chrome_trace(chrome);
+        ASSERT_NE(chrome.str().find("traceEvents"), std::string::npos);
+        // A snapshot taken mid-storm sees some prefix of the writes, never
+        // garbage: every event so far came from a writer thread.
+        for (const auto& e : events) {
+          ASSERT_EQ(e.kind, obs::EventKind::kSchedule);
+          ASSERT_LT(e.job, static_cast<std::uint32_t>(kWriters));
+        }
+      }
+    });
+  }
+  gate.arrive_and_wait();
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.clear();
+
+  // Quiesced state is exact: nothing was lost or double-counted.
+  EXPECT_EQ(reg.counter("stress.ops").value(),
+            static_cast<std::uint64_t>(kWriters) * kOps);
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(reg.counter("stress.writer." + std::to_string(w)).value(),
+              static_cast<std::uint64_t>(kOps));
+  }
+  auto& hist = reg.histogram("stress.latency_us", 0.0, 1000.0, 32);
+  EXPECT_EQ(hist.count(), static_cast<std::size_t>(kWriters) * kOps);
+  EXPECT_EQ(tracer.size(), static_cast<std::size_t>(kWriters) * kOps);
+  EXPECT_EQ(tracer.snapshot().size(), static_cast<std::size_t>(kWriters) * kOps);
+
+  tracer.set_enabled(was_enabled);
+  tracer.clear();
 }
 
 // ---------------------------------------------------------------------------

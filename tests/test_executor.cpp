@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/sync.h"
 #include "harmony/executor.h"
 #include "harmony/synchronizer.h"
 
@@ -100,10 +101,10 @@ TEST(SubtaskExecutor, OnCompleteFiresAfterBody) {
 TEST(SubtaskExecutor, FifoOrderWithinCpuLane) {
   SubtaskExecutor exec;
   std::vector<int> order;
-  std::mutex mu;
+  common::Mutex mu;
   for (int i = 0; i < 20; ++i) {
     exec.submit(make_task(0, SubtaskType::kComp, [&, i] {
-      std::scoped_lock lock(mu);
+      common::MutexLock lock(mu);
       order.push_back(i);
     }));
   }

@@ -5,7 +5,7 @@
 #include <thread>
 #include <vector>
 
-#include "../bench/bench_util.h"
+#include "bench/bench_util.h"
 #include "json_mini.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"

@@ -8,7 +8,14 @@ Project rules (always run, no dependencies beyond the stdlib):
                    and unseeded std::mt19937 engines are banned in the
                    deterministic directories (src/sim, src/harmony, src/exp,
                    src/baselines, src/common). Randomness flows through
-                   common::Rng with an explicit seed.
+                   common::Rng with an explicit seed. In src/sim, src/harmony,
+                   src/exp and src/baselines the wall clocks
+                   (std::chrono::system_clock / steady_clock /
+                   high_resolution_clock) are banned too — wall-clock reads
+                   are as reproducibility-hostile as time(NULL) seeding, and
+                   only the obs wall-clock domain (src/obs, src/common
+                   logging) should touch them. Escape hatch for legitimate
+                   wall-time measurement: `// lint: allow-nondeterminism`.
   naked-new        No naked `new` / `delete`: ownership lives in containers and
                    smart pointers. The two observability leaky singletons are
                    exempted with a `// lint: allow-naked-new` marker.
@@ -16,6 +23,20 @@ Project rules (always run, no dependencies beyond the stdlib):
                    `using namespace` at file scope; no `#include "../..."`
                    parent-relative includes anywhere (include paths are rooted
                    at src/).
+  lock-discipline  All locking goes through the capability-annotated wrappers
+                   in src/common/sync.h (common::Mutex / MutexLock / CondVar),
+                   so clang Thread Safety Analysis sees every acquisition.
+                   Raw std::mutex, std::lock_guard, std::unique_lock,
+                   std::scoped_lock, std::condition_variable and their
+                   <mutex>/<condition_variable>/<shared_mutex> includes are
+                   banned outside sync.h itself. Escape hatch:
+                   `// lint: allow-raw-mutex` with a justification.
+  layering         src/ modules must respect the dependency DAG below
+                   (ALLOWED_DEPS): e.g. src/common depends on nothing,
+                   src/obs only on common, and nothing outside src/exp may
+                   include src/exp or src/obs/analysis. Enforced by parsing
+                   `#include "..."` lines; tools/tests are exempt (they may
+                   reach any module).
   read-only-analysis
                    src/obs/analysis is a pure interpretation layer: it derives
                    reports from trace/metrics snapshots and must never touch
@@ -29,12 +50,16 @@ clang-tidy (best effort): when a compile_commands.json is available (pass
 the checks from .clang-tidy run over the project sources. Missing clang-tidy
 degrades to a note, not a failure, so the script works in minimal containers.
 
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), a per-rule finding-count
+table is appended to the job summary so new rules are visible in PR checks.
+
 Exit status: 0 = clean, 1 = findings, 2 = usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
 import json
 import os
 import re
@@ -46,12 +71,22 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose code must be deterministic (simulation + scheduling core).
 DETERMINISTIC_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/common")
+# Directories where even reading a wall clock is banned (src/common is spared:
+# logging timestamps live there, and they never feed back into simulation).
+CLOCK_BANNED_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines")
 # All directories subject to the generic rules.
 SOURCE_DIRS = ("src", "tools", "tests")
 SOURCE_EXTS = (".h", ".cpp")
 
+# The one file allowed to name std:: synchronization primitives: it wraps them.
+SYNC_HEADER = "src/common/sync.h"
+
 ALLOW_NAKED_NEW = "lint: allow-naked-new"
 ALLOW_NONDET = "lint: allow-nondeterminism"
+ALLOW_RAW_MUTEX = "lint: allow-raw-mutex"
+
+RULE_NAMES = ("nondeterminism", "naked-new", "header-hygiene", "lock-discipline",
+              "layering", "read-only-analysis")
 
 NONDET_PATTERNS = [
     (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() is banned; use common::Rng with an explicit seed"),
@@ -60,15 +95,50 @@ NONDET_PATTERNS = [
     (re.compile(r"std::mt19937(?:_64)?\s+\w+\s*;"), "unseeded std::mt19937 engine; construct with an explicit seed"),
 ]
 
-# The analysis layer may use the TraceEvent/EventKind vocabulary but not the
-# live singletons or anything that mutates them.
-ANALYSIS_DIR = "src/obs/analysis"
-ANALYSIS_BANNED = re.compile(r"Tracer\s*::|MetricsRegistry|set_enabled\s*\(")
+# Matches the wall-clock types themselves (not just ::now() calls) so that
+# `using Clock = std::chrono::steady_clock;` aliases are caught at the one
+# choke point where the marker + justification belongs.
+CLOCK_PATTERN = re.compile(r"\b(?:std::chrono::)?(?:system_clock|steady_clock|high_resolution_clock)\b")
 
-NAKED_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_(]")
-NAKED_DELETE = re.compile(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_*(]")
-PARENT_INCLUDE = re.compile(r'#\s*include\s+"\.\./')
-USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s+\w")
+RAW_SYNC_PATTERNS = [
+    (re.compile(r"std::(?:recursive_|timed_|shared_)?mutex\b"),
+     "raw std::mutex; use common::Mutex from common/sync.h"),
+    (re.compile(r"std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     "raw std:: lock holder; use common::MutexLock from common/sync.h"),
+    (re.compile(r"std::condition_variable(?:_any)?\b"),
+     "raw std::condition_variable; use common::CondVar from common/sync.h"),
+    (re.compile(r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"),
+     "include common/sync.h instead of the raw <mutex>/<condition_variable> headers"),
+]
+
+# --- layering: the module dependency DAG ------------------------------------
+# Key: module (directory under src/, with obs/analysis split out). Value: the
+# modules its files may #include, besides itself. Keep edges pointing DOWN the
+# stack; in particular nothing outside exp-level code may include src/exp, and
+# only tools/tests/bench may consume src/obs/analysis. Extending the table is
+# the intended way to admit a genuinely new dependency — do it consciously.
+ALLOWED_DEPS = {
+    "common": set(),
+    "ml": {"common"},
+    "obs": {"common"},
+    "check": {"common", "obs"},
+    "cluster": {"common"},
+    "sim": {"common", "check", "obs"},
+    "ps": {"common", "check", "ml", "obs"},
+    "harmony": {"common", "check", "cluster", "ml", "obs", "ps"},
+    "baselines": {"common", "check", "cluster", "ml", "obs", "ps", "harmony"},
+    "obs/analysis": {"common", "obs"},
+    "exp": {"common", "check", "cluster", "ml", "obs", "sim", "ps", "harmony", "baselines"},
+}
+
+INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+
+def module_of(src_rel_path: str) -> str:
+    """Maps a src/-rooted path ("obs/analysis/report.h") to its module."""
+    if src_rel_path.startswith("obs/analysis/") or src_rel_path == "obs/analysis":
+        return "obs/analysis"
+    return src_rel_path.split("/", 1)[0]
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -97,10 +167,10 @@ def strip_comments_and_strings(line: str) -> str:
     return "".join(out)
 
 
-def project_files():
+def project_files(root: str):
     for top in SOURCE_DIRS:
-        root = os.path.join(REPO, top)
-        for dirpath, _dirnames, filenames in os.walk(root):
+        subdir = os.path.join(root, top)
+        for dirpath, _dirnames, filenames in os.walk(subdir):
             for name in sorted(filenames):
                 if name.endswith(SOURCE_EXTS):
                     yield os.path.join(dirpath, name)
@@ -109,16 +179,25 @@ def project_files():
 class Findings:
     def __init__(self):
         self.items: list[str] = []
+        self.by_rule = collections.Counter({rule: 0 for rule in RULE_NAMES})
 
-    def add(self, path: str, line_no: int, rule: str, message: str):
-        rel = os.path.relpath(path, REPO)
+    def add(self, root: str, path: str, line_no: int, rule: str, message: str):
+        rel = os.path.relpath(path, root)
         self.items.append(f"{rel}:{line_no}: [{rule}] {message}")
+        self.by_rule[rule] += 1
 
 
-def lint_file(path: str, findings: Findings):
-    rel = os.path.relpath(path, REPO)
+def lint_file(root: str, path: str, findings: Findings):
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
     is_header = path.endswith(".h")
     in_deterministic = rel.startswith(DETERMINISTIC_DIRS) or rel.startswith("tools")
+    clock_banned = rel.startswith(CLOCK_BANNED_DIRS)
+    check_locks = rel != SYNC_HEADER
+    in_src = rel.startswith("src/")
+    file_module = module_of(rel[len("src/"):]) if in_src else None
+    analysis_dir = rel.startswith("src/obs/analysis")
+    analysis_banned = re.compile(r"Tracer\s*::|MetricsRegistry|set_enabled\s*\(")
+
     with open(path, encoding="utf-8") as f:
         raw_lines = f.read().splitlines()
 
@@ -153,32 +232,63 @@ def lint_file(path: str, findings: Findings):
         if "#pragma once" in code:
             saw_pragma_once = True
 
-        if PARENT_INCLUDE.search(code):
-            findings.add(path, line_no, "header-hygiene",
+        # Include-path rules match against `line` (pre string-stripping): the
+        # path itself is a string literal and would otherwise be blanked.
+        if re.search(r'#\s*include\s+"\.\./', line):
+            findings.add(root, path, line_no, "header-hygiene",
                          'parent-relative #include "../..."; include paths are rooted at src/')
 
-        if is_header and USING_NAMESPACE.match(code):
-            findings.add(path, line_no, "header-hygiene",
+        if is_header and re.match(r"^\s*using\s+namespace\s+\w", code):
+            findings.add(root, path, line_no, "header-hygiene",
                          "`using namespace` in a header leaks into every includer")
 
         if ALLOW_NAKED_NEW not in raw:
-            if NAKED_NEW.search(code) or NAKED_DELETE.search(code):
-                findings.add(path, line_no, "naked-new",
+            if re.search(r"(?<![\w.])new\s+[A-Za-z_(]", code) or \
+               re.search(r"(?<![\w.])delete(\s*\[\s*\])?\s+[A-Za-z_*(]", code):
+                findings.add(root, path, line_no, "naked-new",
                              "naked new/delete; use containers or smart pointers"
                              f" (or mark the line `// {ALLOW_NAKED_NEW}`)")
 
         if in_deterministic and ALLOW_NONDET not in raw:
             for pattern, message in NONDET_PATTERNS:
                 if pattern.search(code):
-                    findings.add(path, line_no, "nondeterminism", message)
+                    findings.add(root, path, line_no, "nondeterminism", message)
 
-        if rel.startswith(ANALYSIS_DIR) and ANALYSIS_BANNED.search(code):
-            findings.add(path, line_no, "read-only-analysis",
+        if clock_banned and ALLOW_NONDET not in raw and CLOCK_PATTERN.search(code):
+            findings.add(root, path, line_no, "nondeterminism",
+                         "wall-clock type in deterministic code; only the obs "
+                         "wall-clock domain reads real time (or mark the line "
+                         f"`// {ALLOW_NONDET}` with a justification)")
+
+        if check_locks and ALLOW_RAW_MUTEX not in raw:
+            for pattern, message in RAW_SYNC_PATTERNS:
+                if pattern.search(code):
+                    findings.add(root, path, line_no, "lock-discipline",
+                                 f"{message} (or mark the line `// {ALLOW_RAW_MUTEX}`)")
+
+        if in_src:
+            m = INCLUDE_RE.search(line)
+            if m:
+                dep_module = module_of(m.group(1))
+                if dep_module != file_module:
+                    allowed = ALLOWED_DEPS.get(file_module)
+                    if allowed is None:
+                        findings.add(root, path, line_no, "layering",
+                                     f"module '{file_module}' is not in the layering "
+                                     "table; register it in ALLOWED_DEPS (tools/lint.py)")
+                    elif dep_module not in allowed:
+                        findings.add(root, path, line_no, "layering",
+                                     f"forbidden dependency {file_module} -> {dep_module}; "
+                                     "the module DAG (ALLOWED_DEPS in tools/lint.py) "
+                                     "does not have this edge")
+
+        if analysis_dir and analysis_banned.search(code):
+            findings.add(root, path, line_no, "read-only-analysis",
                          "analysis code must not touch the live Tracer/"
                          "MetricsRegistry; it only consumes snapshots")
 
     if is_header and not saw_pragma_once:
-        findings.add(path, 1, "header-hygiene", "header is missing #pragma once")
+        findings.add(root, path, 1, "header-hygiene", "header is missing #pragma once")
 
 
 def find_compile_commands(build_dir: str | None) -> str | None:
@@ -230,22 +340,48 @@ def run_clang_tidy(compile_commands: str, jobs: int) -> int:
     return failed
 
 
+def write_github_summary(findings: Findings, file_count: int):
+    """Appends a per-rule finding table to the GitHub Actions job summary."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    lines = ["### Lint", "", f"Project rules over {file_count} files.", "",
+             "| rule | findings |", "| --- | ---: |"]
+    for rule in RULE_NAMES:
+        lines.append(f"| `{rule}` | {findings.by_rule[rule]} |")
+    lines.append(f"| **total** | **{len(findings.items)}** |")
+    lines.append("")
+    with open(summary_path, "a", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", help="build tree holding compile_commands.json")
     parser.add_argument("--no-clang-tidy", action="store_true",
                         help="run only the project rules")
+    parser.add_argument("--root", default=REPO,
+                        help="repo root to lint (default: this checkout; the "
+                             "lint self-test points this at fixture trees)")
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
     args = parser.parse_args()
 
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"lint: error: --root {root} is not a directory")
+        return 2
+
     findings = Findings()
     count = 0
-    for path in project_files():
+    for path in project_files(root):
         count += 1
-        lint_file(path, findings)
+        lint_file(root, path, findings)
     print(f"lint: project rules over {count} files: {len(findings.items)} finding(s)")
     for item in findings.items:
         print(f"  {item}")
+    print("lint: rule counts: " +
+          " ".join(f"{rule}={findings.by_rule[rule]}" for rule in RULE_NAMES))
+    write_github_summary(findings, count)
 
     tidy_failures = 0
     if not args.no_clang_tidy:
