@@ -1,0 +1,115 @@
+// DES event-queue microbench (google-benchmark): the calendar queue against
+// the reference binary heap across the access patterns the simulator
+// actually produces.
+//
+//   HoldModel          steady-state pop→push cycling at a fixed queue size —
+//                      the classic calendar-queue workload, where an O(1)
+//                      bucket beats the heap's O(log n) sift.
+//   EnqueueDrain       bulk schedule of n events at random times, then drain.
+//   ScheduleCancelMix  schedule n, cancel half at random, drain the rest —
+//                      exercises tombstoning and orphan compaction.
+//
+// Sizes run 1k → 10M events; the 10M drain pins Iterations(1) so a single
+// pass is measured instead of google-benchmark re-running a multi-second
+// workload to convergence.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+using namespace harmony;
+
+namespace {
+
+const char* kind_name(sim::EventQueueKind kind) {
+  return kind == sim::EventQueueKind::kCalendar ? "calendar" : "heap";
+}
+
+sim::EventQueueKind kind_of(const benchmark::State& state) {
+  return state.range(0) == 0 ? sim::EventQueueKind::kBinaryHeap
+                             : sim::EventQueueKind::kCalendar;
+}
+
+// Each fired event schedules its successor a random exponential step ahead,
+// holding the queue at a constant population.
+struct HoldEvent {
+  sim::Simulator* sim;
+  Rng* rng;
+  void operator()() const {
+    sim->schedule_in(rng->exponential(1.0), HoldEvent{sim, rng});
+  }
+};
+
+void BM_HoldModel(benchmark::State& state) {
+  const auto resident = static_cast<std::size_t>(state.range(1));
+  sim::Simulator sim(kind_of(state));
+  Rng rng(17);
+  for (std::size_t i = 0; i < resident; ++i)
+    sim.schedule_in(rng.exponential(1.0), HoldEvent{&sim, &rng});
+  for (auto _ : state) sim.run(resident);  // one full hold cycle
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(resident));
+  state.SetLabel(std::string(kind_name(kind_of(state))) + " / " +
+                 std::to_string(resident) + " resident");
+}
+
+void BM_EnqueueDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator sim(kind_of(state));
+    Rng rng(23);
+    for (std::size_t i = 0; i < n; ++i)
+      sim.schedule_at(rng.uniform(0.0, 1e6), [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(kind_name(kind_of(state))) + " / " +
+                 std::to_string(n) + " events");
+}
+
+void BM_ScheduleCancelMix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<sim::EventId> ids(n);
+  for (auto _ : state) {
+    sim::Simulator sim(kind_of(state));
+    Rng rng(29);
+    for (std::size_t i = 0; i < n; ++i)
+      ids[i] = sim.schedule_at(rng.uniform(0.0, 1e6), [] {});
+    // Cancel a random half — the mix a regrouping storm produces.
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.uniform(0.0, 1.0) < 0.5) sim.cancel(ids[i]);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(std::string(kind_name(kind_of(state))) + " / " +
+                 std::to_string(n) + " scheduled, ~half cancelled");
+}
+
+}  // namespace
+
+BENCHMARK(BM_HoldModel)
+    ->ArgsProduct({{0, 1}, {1 << 10, 1 << 15, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_EnqueueDrain)
+    ->ArgsProduct({{0, 1}, {1 << 10, 1 << 15, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_EnqueueDrain)  // 10M: one measured pass per queue kind
+    ->Args({0, 10'000'000})
+    ->Args({1, 10'000'000})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ScheduleCancelMix)
+    ->ArgsProduct({{0, 1}, {1 << 10, 1 << 15, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+HARMONY_BENCHMARK_JSON_MAIN("BENCH_event_queue.json");

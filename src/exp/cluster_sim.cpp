@@ -71,22 +71,29 @@ ClusterSim::ClusterSim(ClusterSimConfig config, std::vector<WorkloadSpec> worklo
       naive_(baselines::NaiveScheduler::Params{config.naive_jobs_per_group}),
       profiler_(core::Profiler::Params{0.3, config.profiling_iterations}),
       rng_(config.seed),
+      sim_(config.event_queue),
       free_machines_(config.machines),
       timeline_(config.util_sample_window_sec) {
   if (arrivals_.size() != workload.size())
     throw std::invalid_argument("ClusterSim: arrivals/workload size mismatch");
-  jobs_.reserve(workload.size());
-  for (std::size_t i = 0; i < workload.size(); ++i) {
-    auto job = std::make_unique<SimJob>(rng_.fork());
-    job->spec = workload[i];
-    job->spec.id = static_cast<core::JobId>(i);
-    job->submit_time = arrivals_[i];
+  const std::size_t n = workload.size();
+  // Reserve exactly: jobs_ must never reallocate (event callbacks capture
+  // SimJob addresses).
+  jobs_.reserve(n);
+  job_alpha_.assign(n, 0.0);
+  job_model_spilled_.assign(n, 0);
+  job_resident_cache_.assign(n, 0.0);
+  job_resident_machines_.assign(n, 0);
+  job_resident_valid_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    SimJob& job = jobs_.emplace_back(rng_.fork());
+    job.spec = workload[i];
+    job.spec.id = static_cast<core::JobId>(i);
     if (config_.model_error_injection > 0.0) {
       const double e = config_.model_error_injection;
-      job->err_cpu = 1.0 + rng_.uniform(-e, e);
-      job->err_net = 1.0 + rng_.uniform(-e, e);
+      job.err_cpu = 1.0 + rng_.uniform(-e, e);
+      job.err_net = 1.0 + rng_.uniform(-e, e);
     }
-    jobs_.push_back(std::move(job));
   }
   unfinished_count_ = jobs_.size();
 }
@@ -96,11 +103,13 @@ ClusterSim::~ClusterSim() = default;
 // ---------------------------------------------------------------------------
 // Memory / spill
 
-double ClusterSim::job_resident_bytes(const SimJob& job, std::size_t machines) const {
-  const core::SpillCosts c = spill_model_.costs(job.spec.input_bytes(), job.spec.model_bytes(),
-                                                job.alpha, machines, config_.machine_spec);
+double ClusterSim::job_resident_bytes_uncached(const SimJob& job,
+                                               std::size_t machines) const {
+  const core::SpillCosts c =
+      spill_model_.costs(job.spec.input_bytes(), job.spec.model_bytes(),
+                         job_alpha_[job.spec.id], machines, config_.machine_spec);
   double resident = c.resident_bytes;
-  if (job.model_spilled) {
+  if (job_model_spilled_[job.spec.id] != 0) {
     // Model spill keeps only a small working window of the model resident;
     // the rest streams through the reload path charged in comp_duration.
     constexpr double kModelSpillEvicted = 0.85;
@@ -110,10 +119,34 @@ double ClusterSim::job_resident_bytes(const SimJob& job, std::size_t machines) c
   return std::max(resident, 0.0);
 }
 
+double ClusterSim::job_resident_bytes(const SimJob& job, std::size_t machines) const {
+  const core::JobId id = job.spec.id;
+  if (job_resident_valid_[id] != 0 && job_resident_machines_[id] == machines)
+    return job_resident_cache_[id];
+  const double resident = job_resident_bytes_uncached(job, machines);
+  job_resident_cache_[id] = resident;
+  job_resident_machines_[id] = static_cast<std::uint32_t>(machines);
+  job_resident_valid_[id] = 1;
+  return resident;
+}
+
+void ClusterSim::set_alpha(core::JobId id, double alpha) {
+  if (job_alpha_[id] == alpha) return;
+  job_alpha_[id] = alpha;
+  job_resident_valid_[id] = 0;
+}
+
+void ClusterSim::set_model_spilled(core::JobId id, bool spilled) {
+  const std::uint8_t v = spilled ? 1 : 0;
+  if (job_model_spilled_[id] == v) return;
+  job_model_spilled_[id] = v;
+  job_resident_valid_[id] = 0;
+}
+
 double ClusterSim::group_occupancy(const GroupRun& group) const {
   double resident = 0.0;
   for (core::JobId id : group.members)
-    resident += job_resident_bytes(*jobs_[id], group.machines);
+    resident += job_resident_bytes(jobs_[id], group.machines);
   return resident / config_.machine_spec.memory_bytes;
 }
 
@@ -121,7 +154,7 @@ bool ClusterSim::fits_without_spill(const GroupRun& group, const SimJob& job) co
   if (config_.spill_enabled || config_.grouping != GroupingPolicy::kHarmony) return true;
   double resident = job.spec.resident_bytes(group.machines, 0.0);
   for (core::JobId id : group.members)
-    resident += jobs_[id]->spec.resident_bytes(group.machines, 0.0);
+    resident += jobs_[id].spec.resident_bytes(group.machines, 0.0);
   return resident <= 0.9 * config_.machine_spec.memory_bytes;
 }
 
@@ -137,48 +170,51 @@ void ClusterSim::place_fallback_isolated(SimJob& job) {
 }
 
 void ClusterSim::refresh_alpha(SimJob& job, bool initialize) {
+  const core::JobId jid = job.spec.id;
   if (!config_.spill_enabled || job.group == nullptr) {
-    job.alpha = 0.0;
-    job.model_spilled = false;
+    set_alpha(jid, 0.0);
+    set_model_spilled(jid, false);
     return;
   }
   const std::size_t m = job.group->machines;
   if (config_.fixed_alpha) {
-    job.alpha = std::clamp(*config_.fixed_alpha, 0.0, 1.0);
+    const double a = std::clamp(*config_.fixed_alpha, 0.0, 1.0);
+    set_alpha(jid, a);
     const double share =
         config_.machine_spec.memory_bytes /
         std::max<double>(1.0, static_cast<double>(job.group->members.size()));
     const core::SpillCosts at_cur = spill_model_.costs(
-        job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, m, config_.machine_spec);
-    job.model_spilled = job.alpha >= 0.999 &&
-                        at_cur.resident_bytes > config_.memory_params.gc_threshold * share;
+        job.spec.input_bytes(), job.spec.model_bytes(), a, m, config_.machine_spec);
+    set_model_spilled(jid, a >= 0.999 && at_cur.resident_bytes >
+                                             config_.memory_params.gc_threshold * share);
     return;
   }
   const double share = config_.machine_spec.memory_bytes /
                        std::max<double>(1.0, static_cast<double>(job.group->members.size()));
   (void)initialize;
-  const double prev_alpha = job.alpha;
+  const double prev_alpha = job_alpha_[jid];
   // α is the smallest ratio whose resident footprint fits the group's
   // current occupancy target (per-job ratios, coordinated target, §IV-C).
   const double target = job.group->occ_ctl ? job.group->occ_ctl->alpha()
                                            : config_.alpha_floor_occupancy;
   cluster::MemoryModelParams floor_params = config_.memory_params;
   floor_params.gc_threshold = target;
-  job.alpha = core::AlphaController::initial_alpha(job.spec.input_bytes(),
-                                                   job.spec.model_bytes(), m, share,
-                                                   floor_params, spill_model_,
-                                                   config_.machine_spec);
+  const double alpha = core::AlphaController::initial_alpha(
+      job.spec.input_bytes(), job.spec.model_bytes(), m, share, floor_params,
+      spill_model_, config_.machine_spec);
+  set_alpha(jid, alpha);
   // If even α = 1 overflows this job's share, spill model data too (§V-G:
   // "Harmony enables spill/reload of model data for those jobs").
   const core::SpillCosts at_one = spill_model_.costs(
       job.spec.input_bytes(), job.spec.model_bytes(), 1.0, m, config_.machine_spec);
-  job.model_spilled =
-      job.alpha >= 0.999 && at_one.resident_bytes > config_.memory_params.gc_threshold * share;
-  if (obs::Tracer::enabled() && job.alpha > 0.0 && job.alpha != prev_alpha)
+  set_model_spilled(jid, alpha >= 0.999 &&
+                             at_one.resident_bytes >
+                                 config_.memory_params.gc_threshold * share);
+  if (obs::Tracer::enabled() && alpha > 0.0 && alpha != prev_alpha)
     obs::Tracer::instant(obs::EventKind::kSpill, obs::ClockDomain::kSim,
                          sim_.now() * kTraceUs, job.spec.id,
                          static_cast<std::uint32_t>(job.group->id), obs::kNoEntity,
-                         static_cast<std::uint64_t>(job.alpha * job.spec.input_bytes()));
+                         static_cast<std::uint64_t>(alpha * job.spec.input_bytes()));
 }
 
 // ---------------------------------------------------------------------------
@@ -214,10 +250,10 @@ double ClusterSim::comp_duration(SimJob& job) {
   comp_base_seconds_ += base;
 
   const core::SpillCosts costs = spill_model_.costs(
-      job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, g.machines,
-      config_.machine_spec);
+      job.spec.input_bytes(), job.spec.model_bytes(), job_alpha_[job.spec.id],
+      g.machines, config_.machine_spec);
   double extra = costs.deserialize_seconds;
-  if (job.model_spilled) {
+  if (job_model_spilled_[job.spec.id] != 0) {
     // Model reload+deserialize rides on the compute path.
     const double model_raw = job.spec.model_bytes() / static_cast<double>(g.machines);
     extra += model_raw / config_.machine_spec.disk_bytes_per_sec +
@@ -294,10 +330,10 @@ void ClusterSim::begin_push(SimJob& job, double pull_duration, double comp_dur) 
   // jobs share the disk.
   std::size_t spilling = 0;
   for (core::JobId id : g.members)
-    if (jobs_[id]->alpha > 0.0) ++spilling;
+    if (job_alpha_[id] > 0.0) ++spilling;
   const core::SpillCosts costs = spill_model_.costs(
-      job.spec.input_bytes(), job.spec.model_bytes(), job.alpha, g.machines,
-      config_.machine_spec);
+      job.spec.input_bytes(), job.spec.model_bytes(), job_alpha_[job.spec.id],
+      g.machines, config_.machine_spec);
   job.reload_ready_at =
       sim_.now() + costs.reload_seconds * static_cast<double>(std::max<std::size_t>(1, spilling));
 
@@ -344,8 +380,8 @@ void ClusterSim::end_iteration(SimJob& job, double comm_duration, double comp_du
       g.iters_since_alpha_update = 0;
       g.occ_ctl->observe(g.recent_walls.mean());
       for (core::JobId id : g.members) {
-        refresh_alpha(*jobs_[id], /*initialize=*/false);
-        alpha_samples_.add(jobs_[id]->alpha);
+        refresh_alpha(jobs_[id], /*initialize=*/false);
+        alpha_samples_.add(job_alpha_[id]);
       }
     }
   }
@@ -354,7 +390,7 @@ void ClusterSim::end_iteration(SimJob& job, double comm_duration, double comp_du
   if (job.iterations_done >= job.spec.iterations) {
     job.state = core::JobState::kFinished;
     job.finish_time = sim_.now();
-    summary_.jobs.push_back(JobOutcome{job.spec.id, job.submit_time, job.finish_time});
+    summary_.jobs.push_back(JobOutcome{job.spec.id, arrivals_[job.spec.id], job.finish_time});
     auto it = std::find(g.members.begin(), g.members.end(), job.spec.id);
     if (it != g.members.end()) g.members.erase(it);
     --g.active_members;
@@ -395,30 +431,28 @@ ClusterSim::GroupRun& ClusterSim::create_group(const std::vector<core::JobId>& m
   if (machines > free_machines_) throw std::logic_error("create_group: not enough machines");
   free_machines_ -= machines;
 
-  auto group = std::make_unique<GroupRun>();
-  group->id = next_group_id_++;
-  group->machines = machines;
-  const std::string tag = "g" + std::to_string(group->id);
+  GroupRun& g = groups_.emplace_back();  // deque: address stable forever
+  g.id = next_group_id_++;
+  g.machines = machines;
+  const std::string tag = "g" + std::to_string(g.id);
   if (config_.exec == ExecModel::kPipelined) {
-    group->cpu_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-cpu");
-    group->net_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-net");
+    g.cpu_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-cpu");
+    g.net_fifo = std::make_unique<sim::FifoResource>(sim_, tag + "-net");
   } else {
     // Contended execution: concurrent steps split the capacity and pay an
     // interference penalty — the naive co-location behaviour of Fig. 5a.
-    group->cpu_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-cpu", 1.0,
-                                                              config_.contention_penalty);
-    group->net_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-net", 1.0,
-                                                              config_.contention_penalty);
+    g.cpu_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-cpu", 1.0,
+                                                         config_.contention_penalty);
+    g.net_shared = std::make_unique<sim::SharedResource>(sim_, tag + "-net", 1.0,
+                                                         config_.contention_penalty);
   }
-  groups_.push_back(std::move(group));
-  GroupRun& g = *groups_.back();
   active_groups_storage_.push_back(&g);
   obs::MetricsRegistry::instance().counter("sim.groups_created").add();
   if (obs::Tracer::enabled())
     obs::Tracer::instant(obs::EventKind::kGroupCreate, obs::ClockDomain::kSim,
                          sim_.now() * kTraceUs, obs::kNoEntity,
                          static_cast<std::uint32_t>(g.id), obs::kNoEntity, machines);
-  for (core::JobId id : member_ids) place_job_in_group(*jobs_[id], g, false);
+  for (core::JobId id : member_ids) place_job_in_group(jobs_[id], g, false);
   return g;
 }
 
@@ -451,7 +485,7 @@ void ClusterSim::place_job_in_group(SimJob& job, GroupRun& group, bool with_migr
       group.occ_ctl.emplace(config_.alpha_floor_occupancy, ctl);
     }
     for (core::JobId id : group.members) {
-      SimJob& member = *jobs_[id];
+      SimJob& member = jobs_[id];
       if (&member == &job) continue;
       refresh_alpha(member, /*initialize=*/false);
     }
@@ -477,7 +511,7 @@ double ClusterSim::migration_delay(const SimJob& job, std::size_t machines) cons
   // input is simply reloaded).
   const double m = static_cast<double>(machines);
   const double model_io = 2.0 * job.spec.model_bytes() / m;  // write + read
-  const double input_io = (1.0 - job.alpha) * job.spec.input_bytes() / m;
+  const double input_io = (1.0 - job_alpha_[job.spec.id]) * job.spec.input_bytes() / m;
   return (model_io + input_io) / config_.machine_spec.disk_bytes_per_sec;
 }
 
@@ -495,7 +529,7 @@ void ClusterSim::park_job(SimJob& job, core::JobState state) {
   --g->active_members;
   job.group = nullptr;
   job.state = state;
-  job.alpha = 0.0;
+  set_alpha(job.spec.id, 0.0);
   reindex_job(job);
 
   if (g->stopping && g->active_members == 0) {
@@ -558,10 +592,17 @@ void ClusterSim::reindex_job(SimJob& job) {
   const bool waiting = job.arrived && job.state == core::JobState::kWaiting;
   if (waiting != job.in_waiting_index) {
     const auto it = std::lower_bound(waiting_ids_.begin(), waiting_ids_.end(), id);
+    // The submit-ordered twin: (submit_time, id) is a total order, so the
+    // lower_bound position is the unique insert/erase point.
+    const auto sit = std::lower_bound(
+        waiting_by_submit_.begin(), waiting_by_submit_.end(), id,
+        [this](core::JobId a, core::JobId b) { return submit_order_less(a, b); });
     if (waiting) {
       waiting_ids_.insert(it, id);
+      waiting_by_submit_.insert(sit, id);
     } else {
       waiting_ids_.erase(it);
+      waiting_by_submit_.erase(sit);
     }
     job.in_waiting_index = waiting;
   }
@@ -604,11 +645,12 @@ void ClusterSim::set_state(SimJob& job, core::JobState state) {
 }
 
 std::vector<ClusterSim::SimJob*> ClusterSim::waiting_jobs_by_submit() {
+  // waiting_by_submit_ is maintained in (submit_time, id) order, so this is a
+  // straight gather — scheduling passes used to re-sort the whole backlog
+  // here, which dominated the profile at 100k machines.
   std::vector<SimJob*> waiting;
-  waiting.reserve(waiting_ids_.size());
-  for (core::JobId id : waiting_ids_) waiting.push_back(jobs_[id].get());
-  std::sort(waiting.begin(), waiting.end(),
-            [](const SimJob* a, const SimJob* b) { return a->submit_time < b->submit_time; });
+  waiting.reserve(waiting_by_submit_.size());
+  for (core::JobId id : waiting_by_submit_) waiting.push_back(&jobs_[id]);
   return waiting;
 }
 
@@ -654,9 +696,11 @@ core::SchedJob ClusterSim::sched_view(const SimJob& job) {
 std::vector<core::SchedJob> ClusterSim::idle_sched_jobs() const {
   std::vector<const SimJob*> idle;
   idle.reserve(idle_ids_.size());
-  for (core::JobId id : idle_ids_) idle.push_back(jobs_[id].get());
-  std::sort(idle.begin(), idle.end(), [](const SimJob* a, const SimJob* b) {
-    return a->submit_time < b->submit_time;
+  for (core::JobId id : idle_ids_) idle.push_back(&jobs_[id]);
+  // Same pinned (submit_time, id) total order as the waiting index. idle_ids_
+  // is id-sorted, so ties land in id order deterministically.
+  std::sort(idle.begin(), idle.end(), [this](const SimJob* a, const SimJob* b) {
+    return submit_order_less(a->spec.id, b->spec.id);
   });
   std::vector<core::SchedJob> out;
   out.reserve(idle.size());
@@ -673,8 +717,8 @@ std::vector<core::RunningGroup> ClusterSim::running_groups_view() const {
     core::RunningGroup rg;
     rg.machines = g->machines;
     for (core::JobId id : g->members) {
-      if (jobs_[id]->state == core::JobState::kRunning)
-        rg.jobs.push_back(self->sched_view(*jobs_[id]));
+      if (jobs_[id].state == core::JobState::kRunning)
+        rg.jobs.push_back(self->sched_view(jobs_[id]));
     }
     if (!rg.jobs.empty()) out.push_back(std::move(rg));
   }
@@ -749,7 +793,7 @@ void ClusterSim::maybe_start_profiling() {
     for (GroupRun* g : groups) {
       bool has_profiling = false;
       for (core::JobId id : g->members)
-        if (jobs_[id]->state == core::JobState::kProfiling) has_profiling = true;
+        if (jobs_[id].state == core::JobState::kProfiling) has_profiling = true;
       if (has_profiling) {
         target = g;
         break;
@@ -837,7 +881,7 @@ void ClusterSim::expand_groups_with_free_machines() {
   const auto gain_of = [&](GroupRun* g) {
     shape.machines = g->machines;
     shape.jobs.clear();
-    for (core::JobId id : g->members) shape.jobs.push_back(jobs_[id]->spec.profile());
+    for (core::JobId id : g->members) shape.jobs.push_back(jobs_[id].spec.profile());
     if (shape.jobs.empty()) return 0.0;  // below the grant threshold: never picked
     const double now_t = core::PerfModel::group_iteration_time(shape);
     ++shape.machines;
@@ -907,7 +951,7 @@ void ClusterSim::try_apply_pending() {
     // by another group that is not draining).
     bool possible = false;
     for (core::JobId id : plan.jobs) {
-      const SimJob& j = *jobs_[id];
+      const SimJob& j = jobs_[id];
       if (j.state == core::JobState::kFinished) continue;
       if (j.group == nullptr || j.group->stopping) possible = true;
     }
@@ -923,7 +967,7 @@ void ClusterSim::try_apply_pending() {
     std::size_t placed = 0;
     std::vector<SimJob*> refused;
     for (core::JobId id : plan.jobs) {
-      SimJob& j = *jobs_[id];
+      SimJob& j = jobs_[id];
       if (j.state == core::JobState::kFinished || j.group != nullptr) continue;
       if (!fits_without_spill(g, j)) {
         refused.push_back(&j);  // no-spill runs: cannot share this group
@@ -953,9 +997,9 @@ void ClusterSim::try_apply_pending() {
   if (done) {
     // Jobs left over from the drained groups wait as paused. (Rare: only on
     // regroup completion, so the defensive full scan is fine here.)
-    for (auto& job : jobs_)
-      if (job->group == nullptr && job->state == core::JobState::kRunning)
-        set_state(*job, core::JobState::kPaused);
+    for (SimJob& job : jobs_)
+      if (job.group == nullptr && job.state == core::JobState::kRunning)
+        set_state(job, core::JobState::kPaused);
     maybe_start_profiling();
   }
   // Whatever machines the pending plans do not need can serve the idle pool
@@ -994,7 +1038,7 @@ void ClusterSim::on_job_profiled(SimJob& job) {
     for (GroupRun* g : groups) {
       bool has_running = false;
       for (core::JobId id : g->members)
-        if (jobs_[id]->state == core::JobState::kRunning) has_running = true;
+        if (jobs_[id].state == core::JobState::kRunning) has_running = true;
       if (has_running) view_groups.push_back(g);
     }
     if (action.group_index < view_groups.size()) {
@@ -1033,12 +1077,12 @@ void ClusterSim::run_initial_harmony_schedule() {
   // Pool: everything profiled so far, queue order.
   std::vector<core::SchedJob> pool = idle_sched_jobs();
   // Jobs still running in bootstrap groups are also schedulable.
-  for (auto& job : jobs_) {
-    if (job->state == core::JobState::kRunning ||
-        (job->state == core::JobState::kProfiled && job->group != nullptr)) {
+  for (SimJob& job : jobs_) {
+    if (job.state == core::JobState::kRunning ||
+        (job.state == core::JobState::kProfiled && job.group != nullptr)) {
       if (std::none_of(pool.begin(), pool.end(),
-                       [&](const core::SchedJob& s) { return s.id == job->spec.id; }))
-        pool.push_back(sched_view(*job));
+                       [&](const core::SchedJob& s) { return s.id == job.spec.id; }))
+        pool.push_back(sched_view(job));
     }
   }
   if (pool.empty()) return;
@@ -1071,7 +1115,7 @@ void ClusterSim::apply_decision(const core::ScheduleDecision& decision,
     if (m == 0) break;
     std::vector<SimJob*> placeable;
     for (core::JobId id : plan.jobs) {
-      SimJob& job = *jobs_[id];
+      SimJob& job = jobs_[id];
       if (job.state == core::JobState::kFinished || job.group != nullptr) continue;
       placeable.push_back(&job);
     }
@@ -1144,7 +1188,7 @@ void ClusterSim::on_job_finished(SimJob& job) {
   for (GroupRun* g : live_groups()) {
     bool has_running = false;
     for (core::JobId id : g->members)
-      if (jobs_[id]->state == core::JobState::kRunning) has_running = true;
+      if (jobs_[id].state == core::JobState::kRunning) has_running = true;
     if (has_running) view_groups.push_back(g);
   }
   std::size_t group_index = 0;
@@ -1169,7 +1213,7 @@ void ClusterSim::on_job_finished(SimJob& job) {
         GroupRun* target = view_groups[action.group_index];
         settle_group_prediction(*target);
         for (const core::SchedJob& r : action.replacements) {
-          SimJob& repl = *jobs_[r.id];
+          SimJob& repl = jobs_[r.id];
           if (repl.group != nullptr || repl.state == core::JobState::kFinished) continue;
           if (!fits_without_spill(*target, repl)) continue;
           place_job_in_group(repl, *target, /*with_migration_delay=*/true);
@@ -1210,12 +1254,11 @@ void ClusterSim::on_job_finished(SimJob& job) {
 
 void ClusterSim::try_schedule_isolated() {
   for (;;) {
-    SimJob* next = nullptr;
-    for (core::JobId id : waiting_ids_) {
-      SimJob* job = jobs_[id].get();
-      if (next == nullptr || job->submit_time < next->submit_time) next = job;
-    }
-    if (next == nullptr) return;
+    // FIFO head = front of the submit-ordered index. (The old scan kept the
+    // first-encountered job among submit ties, i.e. the lowest id — exactly
+    // the (submit_time, id) minimum.)
+    if (waiting_by_submit_.empty()) return;
+    SimJob* next = &jobs_[waiting_by_submit_.front()];
 
     std::size_t m = isolated_.pick_dop(next->spec.profile());
     m = std::max(m, next->spec.min_machines_without_spill(config_.machine_spec));
@@ -1287,8 +1330,8 @@ void ClusterSim::record_group_prediction(GroupRun& group) {
   core::GroupShape shape;
   shape.machines = group.machines;
   for (core::JobId id : group.members) {
-    if (jobs_[id]->state != core::JobState::kRunning) continue;
-    shape.jobs.push_back(sched_view(*jobs_[id]).profile);
+    if (jobs_[id].state != core::JobState::kRunning) continue;
+    shape.jobs.push_back(sched_view(jobs_[id]).profile);
   }
   if (shape.jobs.empty() || shape.machines == 0) {
     group.predicted_titr = 0.0;
@@ -1353,17 +1396,17 @@ void ClusterSim::sample_utilization() {
                        core::Utilization{cpu_weighted / total, net_weighted / total});
   if (config_.debug_trace) {
     std::size_t waiting = 0, paused = 0, profiled = 0, finished = 0;
-    for (const auto& j : jobs_) {
-      waiting += j->state == core::JobState::kWaiting;
-      paused += j->state == core::JobState::kPaused;
-      profiled += j->state == core::JobState::kProfiled && j->group == nullptr;
-      finished += j->state == core::JobState::kFinished;
+    for (const SimJob& j : jobs_) {
+      waiting += j.state == core::JobState::kWaiting;
+      paused += j.state == core::JobState::kPaused;
+      profiled += j.state == core::JobState::kProfiled && j.group == nullptr;
+      finished += j.state == core::JobState::kFinished;
     }
     std::string groups_desc;
-    for (const auto& g : groups_)
-      if (!g->dissolved)
-        groups_desc += " [" + std::to_string(g->members.size()) + "j/" +
-                       std::to_string(g->machines) + "m" + (g->stopping ? "!" : "") + "]";
+    for (const GroupRun& g : groups_)
+      if (!g.dissolved)
+        groups_desc += " [" + std::to_string(g.members.size()) + "j/" +
+                       std::to_string(g.machines) + "m" + (g.stopping ? "!" : "") + "]";
     std::fprintf(stderr,
                  "t=%7.0f cpu=%.2f net=%.2f free=%zu wait=%zu paused=%zu idleprof=%zu "
                  "done=%zu pend=%d%s\n",
@@ -1388,14 +1431,15 @@ void ClusterSim::sample_utilization() {
 
 RunSummary ClusterSim::run() {
   summary_ = RunSummary{};
-  for (auto& job : jobs_) {
-    sim_.schedule_at(job->submit_time, [this, j = job.get()] { on_job_arrival(*j); });
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    SimJob* j = &jobs_[i];
+    sim_.schedule_at(arrivals_[i], [this, j] { on_job_arrival(*j); });
   }
   sim_.schedule_in(config_.util_sample_window_sec, [this] { sample_utilization(); });
   sim_.run(200'000'000ULL);
 
-  for (auto& g : groups_)
-    if (!g->dissolved) settle_group_prediction(*g);
+  for (GroupRun& g : groups_)
+    if (!g.dissolved) settle_group_prediction(g);
   maybe_validate();
 
   double first_arrival = arrivals_.empty() ? 0.0 : arrivals_.front();
@@ -1425,8 +1469,8 @@ AlphaStats ClusterSim::alpha_stats() const {
   st.mean = alpha_samples_.mean();
   st.min = alpha_samples_.min();
   st.max = alpha_samples_.max();
-  for (const auto& job : jobs_)
-    if (job->alpha >= 0.999 || job->model_spilled) ++st.jobs_at_one;
+  for (std::size_t i = 0; i < jobs_.size(); ++i)
+    if (job_alpha_[i] >= 0.999 || job_model_spilled_[i] != 0) ++st.jobs_at_one;
   return st;
 }
 
@@ -1435,19 +1479,19 @@ std::string ClusterSim::debug_dump() const {
                     std::to_string(free_machines_) +
                     " pending_regroup=" + (pending_regroup_ ? "yes" : "no") +
                     "\n";
-  for (const auto& job : jobs_) {
-    out += "job " + std::to_string(job->spec.id) + " " + core::to_string(job->state) +
-           " iters=" + std::to_string(job->iterations_done) + "/" +
-           std::to_string(job->spec.iterations) +
-           " group=" + (job->group ? std::to_string(job->group->id) : "-") +
-           " arrived=" + (job->arrived ? "y" : "n") + "\n";
+  for (const SimJob& job : jobs_) {
+    out += "job " + std::to_string(job.spec.id) + " " + core::to_string(job.state) +
+           " iters=" + std::to_string(job.iterations_done) + "/" +
+           std::to_string(job.spec.iterations) +
+           " group=" + (job.group ? std::to_string(job.group->id) : "-") +
+           " arrived=" + (job.arrived ? "y" : "n") + "\n";
   }
-  for (const auto& g : groups_) {
-    if (g->dissolved) continue;
-    out += "group " + std::to_string(g->id) + " m=" + std::to_string(g->machines) +
-           " members=" + std::to_string(g->members.size()) +
-           " active=" + std::to_string(g->active_members) +
-           (g->stopping ? " stopping" : "") + "\n";
+  for (const GroupRun& g : groups_) {
+    if (g.dissolved) continue;
+    out += "group " + std::to_string(g.id) + " m=" + std::to_string(g.machines) +
+           " members=" + std::to_string(g.members.size()) +
+           " active=" + std::to_string(g.active_members) +
+           (g.stopping ? " stopping" : "") + "\n";
   }
   return out;
 }

@@ -16,6 +16,8 @@
 // pressure and noise.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -60,6 +62,11 @@ struct ClusterSimConfig {
   bool spill_enabled = true;
 
   std::uint64_t seed = 1;
+  // Event-queue implementation for the underlying simulator. Both produce
+  // bit-identical runs (the golden-determinism tests pin this); the binary
+  // heap is kept as the O(log n) reference, the calendar queue is the O(1)
+  // amortized default.
+  sim::EventQueueKind event_queue = sim::EventQueueKind::kCalendar;
   double subtask_noise_cv = 0.03;
   // Interference penalty for contended execution (per extra concurrent task).
   double contention_penalty = 0.08;
@@ -153,6 +160,11 @@ class ClusterSim {
   double total_sched_seconds() const noexcept { return sched_wall_seconds_; }
   std::size_t sched_invocations() const noexcept { return sched_invocations_; }
 
+  // Throughput accounting for the simulation benchmarks: events executed by
+  // the underlying DES and the final simulated clock.
+  std::uint64_t events_fired() const noexcept { return sim_.events_fired(); }
+  double sim_now() const noexcept { return sim_.now(); }
+
   // One-line-per-entity dump of job and group state; debugging/ops aid.
   std::string debug_dump() const;
 
@@ -197,7 +209,14 @@ class ClusterSim {
 
   // --- memory / spill -----------------------------------------------------
   double group_occupancy(const GroupRun& group) const;
+  // Memoized: the footprint depends only on (spec, alpha, model_spilled,
+  // machines), so the result is cached per job and invalidated whenever the
+  // spill state changes (set_alpha / set_model_spilled). The machine count is
+  // part of the cache key, so DoP changes need no explicit invalidation.
   double job_resident_bytes(const SimJob& job, std::size_t machines) const;
+  double job_resident_bytes_uncached(const SimJob& job, std::size_t machines) const;
+  void set_alpha(core::JobId id, double alpha);
+  void set_model_spilled(core::JobId id, bool spilled);
   void refresh_alpha(SimJob& job, bool initialize);
   // When spilling is disabled, Harmony placements refuse co-locations that
   // would overflow memory outright (the operator's feasibility check the
@@ -226,8 +245,16 @@ class ClusterSim {
   // Re-derives the job's index memberships after a state/group/arrival
   // mutation; idempotent.
   void reindex_job(SimJob& job);
-  // Waiting jobs ordered by submit time (the order every scheduling pass
-  // uses); built from the maintained waiting index instead of a pool scan.
+  // The pinned scheduling order: by submit time, ties broken by job id. This
+  // is a total order, so every scheduling pass sees one well-defined sequence
+  // regardless of how the waiting set was assembled.
+  bool submit_order_less(core::JobId a, core::JobId b) const noexcept {
+    if (arrivals_[a] != arrivals_[b]) return arrivals_[a] < arrivals_[b];
+    return a < b;
+  }
+  // Waiting jobs in submit order (the order every scheduling pass uses);
+  // materialized from the incrementally sorted waiting_by_submit_ index, so
+  // no per-call sort.
   std::vector<SimJob*> waiting_jobs_by_submit();
   // Non-dissolved groups in creation order; compacts lazily so event-path
   // iteration costs O(live groups), not O(groups ever created).
@@ -273,15 +300,37 @@ class ClusterSim {
   Rng rng_;
 
   sim::Simulator sim_;
-  std::vector<std::unique_ptr<SimJob>> jobs_;
-  std::vector<std::unique_ptr<GroupRun>> groups_;
+  // Dense by JobId (== pool index). Sized once in the constructor and never
+  // resized afterwards, so SimJob addresses are stable for the whole run —
+  // event callbacks capture SimJob* directly.
+  std::vector<SimJob> jobs_;
+  // Deque for stable GroupRun addresses across create_group appends (groups_
+  // only ever grows; dissolved groups stay for late no-op events).
+  std::deque<GroupRun> groups_;
   std::size_t next_group_id_ = 0;
   std::size_t free_machines_ = 0;
+
+  // Hot per-job scalars as struct-of-arrays, dense by JobId. The occupancy
+  // walk (group_occupancy -> job_resident_bytes) runs on every COMP subtask,
+  // so these stay packed instead of striding through SimJob records. Submit
+  // times are arrivals_ (already dense by id, immutable after construction).
+  std::vector<double> job_alpha_;                 // spill ratio, [0, 1]
+  std::vector<std::uint8_t> job_model_spilled_;   // bool; model data on disk
+  // Resident-bytes memo: valid when job_resident_valid_[id] != 0 AND the
+  // queried machine count equals job_resident_machines_[id]. Mutable because
+  // group_occupancy is logically const.
+  mutable std::vector<double> job_resident_cache_;
+  mutable std::vector<std::uint32_t> job_resident_machines_;
+  mutable std::vector<std::uint8_t> job_resident_valid_;
 
   // Job-state indexes, maintained by reindex_job(). The id-sorted lists
   // reproduce the iteration order of a jobs_ scan (ids are pool indices), so
   // downstream sorts see the identical input sequence.
   std::vector<core::JobId> waiting_ids_;  // arrived && kWaiting
+  // Same membership as waiting_ids_, kept sorted by (submit_time, id) — the
+  // pinned scheduling order — via ordered insert/erase in reindex_job. This
+  // replaces the per-scheduling-pass sort that dominated large-cluster runs.
+  std::vector<core::JobId> waiting_by_submit_;
   std::vector<core::JobId> idle_ids_;     // kProfiled || kPaused
   std::size_t profiling_count_ = 0;
   std::size_t paused_count_ = 0;

@@ -14,6 +14,11 @@
 
 namespace harmony::exp {
 
+// Cold per-job record. The hot scalars the memory model reads on every
+// iteration (spill ratio, model-spill flag, submit time, resident-bytes
+// cache) live in ClusterSim's dense struct-of-arrays indexed by JobId — see
+// job_alpha_ and friends — so the occupancy walk touches packed doubles
+// instead of striding through these records.
 struct ClusterSim::SimJob {
   WorkloadSpec spec;
   bool arrived = false;  // submission event has fired
@@ -21,14 +26,11 @@ struct ClusterSim::SimJob {
   std::size_t iterations_done = 0;
   std::size_t profile_iterations = 0;
   std::size_t iters_in_group = 0;
-  double submit_time = 0.0;
   double finish_time = -1.0;
 
   GroupRun* group = nullptr;
   GroupRun* last_group = nullptr;  // group the job most recently left
   bool in_flight = false;          // an iteration's subtasks are in the pipeline
-  double alpha = 0.0;
-  bool model_spilled = false;
   double reload_ready_at = 0.0;
   double iter_start_time = 0.0;
   // Systematic profile-error factors for Fig. 13a (1.0 = exact).

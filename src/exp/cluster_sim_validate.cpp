@@ -36,16 +36,16 @@ check::ValidationReport ClusterSim::validate_state() const {
   // Stopping groups keep their machines until the drain completes; dissolve
   // is the only release point and zeroes the group's count.
   std::size_t held = 0;
-  for (const auto& g : groups_) {
-    if (g->dissolved) {
-      HARMONY_VALIDATE(v, g->machines == 0)
-          << check::group(g->id) << "dissolved group still holds " << g->machines
+  for (const GroupRun& g : groups_) {
+    if (g.dissolved) {
+      HARMONY_VALIDATE(v, g.machines == 0)
+          << check::group(g.id) << "dissolved group still holds " << g.machines
           << " machines";
       continue;
     }
-    HARMONY_VALIDATE(v, g->machines >= 1)
-        << check::group(g->id) << "live group holds zero machines";
-    held += g->machines;
+    HARMONY_VALIDATE(v, g.machines >= 1)
+        << check::group(g.id) << "live group holds zero machines";
+    held += g.machines;
   }
   HARMONY_VALIDATE(v, held + free_machines_ == config_.machines)
       << "machine conservation broken: groups hold " << held << " + " << free_machines_
@@ -53,59 +53,61 @@ check::ValidationReport ClusterSim::validate_state() const {
       << " (a machine is over-allocated or leaked)";
 
   // -- group <-> job membership ---------------------------------------------
-  for (const auto& g : groups_) {
-    if (g->dissolved) continue;
+  for (const GroupRun& g : groups_) {
+    if (g.dissolved) continue;
     std::unordered_set<core::JobId> seen;
-    for (core::JobId id : g->members) {
+    for (core::JobId id : g.members) {
       HARMONY_VALIDATE(v, id < jobs_.size())
-          << check::group(g->id) << "member id " << id << " out of range";
+          << check::group(g.id) << "member id " << id << " out of range";
       if (id >= jobs_.size()) continue;
       HARMONY_VALIDATE(v, seen.insert(id).second)
-          << check::group(g->id) << check::job(id) << "job listed twice in one group";
-      const SimJob& j = *jobs_[id];
-      HARMONY_VALIDATE(v, j.group == g.get())
-          << check::group(g->id) << check::job(id)
+          << check::group(g.id) << check::job(id) << "job listed twice in one group";
+      const SimJob& j = jobs_[id];
+      HARMONY_VALIDATE(v, j.group == &g)
+          << check::group(g.id) << check::job(id)
           << "membership not bidirectional: group lists the job but the job points at "
           << (j.group ? "group " + std::to_string(j.group->id) : std::string("no group"));
       HARMONY_VALIDATE(v, groupable_state(j.state))
-          << check::group(g->id) << check::job(id) << "grouped job in state "
+          << check::group(g.id) << check::job(id) << "grouped job in state "
           << core::to_string(j.state);
     }
-    HARMONY_VALIDATE(v, g->active_members == g->members.size())
-        << check::group(g->id) << "active_members (" << g->active_members
-        << ") != member count (" << g->members.size() << ")";
+    HARMONY_VALIDATE(v, g.active_members == g.members.size())
+        << check::group(g.id) << "active_members (" << g.active_members
+        << ") != member count (" << g.members.size() << ")";
   }
-  for (const auto& j : jobs_) {
-    if (j->group == nullptr) continue;
-    HARMONY_VALIDATE(v, !j->group->dissolved)
-        << check::job(j->spec.id) << check::group(j->group->id)
+  for (const SimJob& j : jobs_) {
+    if (j.group == nullptr) continue;
+    HARMONY_VALIDATE(v, !j.group->dissolved)
+        << check::job(j.spec.id) << check::group(j.group->id)
         << "job points at a dissolved group";
-    const auto& members = j->group->members;
-    HARMONY_VALIDATE(v, std::count(members.begin(), members.end(), j->spec.id) == 1)
-        << check::job(j->spec.id) << check::group(j->group->id)
+    const auto& members = j.group->members;
+    HARMONY_VALIDATE(v, std::count(members.begin(), members.end(), j.spec.id) == 1)
+        << check::job(j.spec.id) << check::group(j.group->id)
         << "membership not bidirectional: job points at a group that does not list it";
   }
 
   // -- job-state sanity -----------------------------------------------------
-  for (const auto& j : jobs_) {
-    HARMONY_VALIDATE(v, !(j->in_flight && j->group == nullptr))
-        << check::job(j->spec.id) << "in-flight iteration with no group";
-    if (j->state == core::JobState::kFinished) {
-      HARMONY_VALIDATE(v, j->group == nullptr)
-          << check::job(j->spec.id) << "finished job still grouped";
-      HARMONY_VALIDATE(v, j->finish_time >= j->submit_time)
-          << check::job(j->spec.id) << "finish time " << j->finish_time
-          << " precedes submit time " << j->submit_time;
+  for (const SimJob& j : jobs_) {
+    const core::JobId id = j.spec.id;
+    const double alpha = job_alpha_[id];
+    HARMONY_VALIDATE(v, !(j.in_flight && j.group == nullptr))
+        << check::job(id) << "in-flight iteration with no group";
+    if (j.state == core::JobState::kFinished) {
+      HARMONY_VALIDATE(v, j.group == nullptr)
+          << check::job(id) << "finished job still grouped";
+      HARMONY_VALIDATE(v, j.finish_time >= arrivals_[id])
+          << check::job(id) << "finish time " << j.finish_time
+          << " precedes submit time " << arrivals_[id];
     }
-    HARMONY_VALIDATE(v, j->alpha >= 0.0 && j->alpha <= 1.0)
-        << check::job(j->spec.id) << "disk ratio out of range: alpha = " << j->alpha
+    HARMONY_VALIDATE(v, alpha >= 0.0 && alpha <= 1.0)
+        << check::job(id) << "disk ratio out of range: alpha = " << alpha
         << " (skewed spill share)";
     if (!config_.spill_enabled)
-      HARMONY_VALIDATE(v, j->alpha == 0.0)
-          << check::job(j->spec.id) << "spilling disabled but alpha = " << j->alpha;
-    if (j->model_spilled)
-      HARMONY_VALIDATE(v, j->alpha >= 0.999)
-          << check::job(j->spec.id) << "model spill active at alpha = " << j->alpha
+      HARMONY_VALIDATE(v, alpha == 0.0)
+          << check::job(id) << "spilling disabled but alpha = " << alpha;
+    if (job_model_spilled_[id] != 0)
+      HARMONY_VALIDATE(v, alpha >= 0.999)
+          << check::job(id) << "model spill active at alpha = " << alpha
           << " (input data must be fully spilled first)";
   }
 
@@ -118,23 +120,39 @@ check::ValidationReport ClusterSim::validate_state() const {
   // only grow between refreshes (members leaving), so the bound holds with
   // current membership.
   if (config_.spill_enabled && !config_.fixed_alpha) {
-    for (const auto& g : groups_) {
-      if (g->dissolved || g->members.empty()) continue;
+    for (const GroupRun& g : groups_) {
+      if (g.dissolved || g.members.empty()) continue;
       const double target =
-          g->occ_ctl ? g->occ_ctl->alpha() : config_.alpha_floor_occupancy;
+          g.occ_ctl ? g.occ_ctl->alpha() : config_.alpha_floor_occupancy;
       const double bound_occ = std::max(target, config_.memory_params.gc_threshold);
       const double share = config_.machine_spec.memory_bytes /
-                           static_cast<double>(g->members.size());
-      for (core::JobId id : g->members) {
-        const SimJob& j = *jobs_[id];
-        if (j.model_spilled) continue;
-        const double resident = job_resident_bytes(j, g->machines);
+                           static_cast<double>(g.members.size());
+      for (core::JobId id : g.members) {
+        const SimJob& j = jobs_[id];
+        if (job_model_spilled_[id] != 0) continue;
+        // Brute force on purpose: the memoized path is what is being audited.
+        const double resident = job_resident_bytes_uncached(j, g.machines);
         HARMONY_VALIDATE(v, resident <= bound_occ * share * (1.0 + 1e-9))
-            << check::job(id) << check::group(g->id) << "resident bytes " << resident
+            << check::job(id) << check::group(g.id) << "resident bytes " << resident
             << " exceed the occupancy bound " << bound_occ << " x share " << share
-            << " at alpha = " << j.alpha << " (byte accounting skewed vs alpha shares)";
+            << " at alpha = " << job_alpha_[id]
+            << " (byte accounting skewed vs alpha shares)";
       }
     }
+  }
+
+  // -- resident-bytes memo vs a from-scratch recomputation ------------------
+  // Every valid cache entry must equal the uncached model evaluated at the
+  // cached machine count; a mismatch means a spill-state write skipped its
+  // invalidation hook.
+  for (core::JobId id = 0; id < jobs_.size(); ++id) {
+    if (job_resident_valid_[id] == 0) continue;
+    const double want =
+        job_resident_bytes_uncached(jobs_[id], job_resident_machines_[id]);
+    HARMONY_VALIDATE(v, job_resident_cache_[id] == want)
+        << check::job(id) << "resident-bytes cache holds " << job_resident_cache_[id]
+        << " but recomputing at " << job_resident_machines_[id] << " machines gives "
+        << want << " (stale memo: missed invalidation)";
   }
 
   // -- job-state indexes vs a from-scratch rebuild --------------------------
@@ -144,21 +162,32 @@ check::ValidationReport ClusterSim::validate_state() const {
   std::size_t want_paused = 0;
   std::size_t want_profiled_ungrouped = 0;
   std::size_t finished = 0;
-  for (const auto& j : jobs_) {  // ids are pool indices, so this is id-sorted
-    if (j->arrived && j->state == core::JobState::kWaiting)
-      want_waiting.push_back(j->spec.id);
-    if (j->state == core::JobState::kProfiled || j->state == core::JobState::kPaused)
-      want_idle.push_back(j->spec.id);
-    want_profiling += j->state == core::JobState::kProfiling;
-    want_paused += j->state == core::JobState::kPaused;
+  for (const SimJob& j : jobs_) {  // ids are pool indices, so this is id-sorted
+    if (j.arrived && j.state == core::JobState::kWaiting)
+      want_waiting.push_back(j.spec.id);
+    if (j.state == core::JobState::kProfiled || j.state == core::JobState::kPaused)
+      want_idle.push_back(j.spec.id);
+    want_profiling += j.state == core::JobState::kProfiling;
+    want_paused += j.state == core::JobState::kPaused;
     want_profiled_ungrouped +=
-        j->state == core::JobState::kProfiled && j->group == nullptr;
-    finished += j->state == core::JobState::kFinished;
+        j.state == core::JobState::kProfiled && j.group == nullptr;
+    finished += j.state == core::JobState::kFinished;
   }
   HARMONY_VALIDATE(v, waiting_ids_ == want_waiting)
       << "waiting index (" << waiting_ids_.size()
       << " ids) diverges from a from-scratch rebuild (" << want_waiting.size()
       << " ids): bad index entry";
+  {
+    // The submit-ordered twin must be the same membership, sorted by the
+    // pinned (submit_time, id) total order.
+    std::vector<core::JobId> want_by_submit = want_waiting;
+    std::sort(want_by_submit.begin(), want_by_submit.end(),
+              [this](core::JobId a, core::JobId b) { return submit_order_less(a, b); });
+    HARMONY_VALIDATE(v, waiting_by_submit_ == want_by_submit)
+        << "submit-ordered waiting index (" << waiting_by_submit_.size()
+        << " ids) diverges from the waiting set re-sorted by (submit, id): "
+        << "bad index entry or broken tie-break order";
+  }
   HARMONY_VALIDATE(v, idle_ids_ == want_idle)
       << "idle index (" << idle_ids_.size()
       << " ids) diverges from a from-scratch rebuild (" << want_idle.size()
@@ -181,17 +210,17 @@ check::ValidationReport ClusterSim::validate_state() const {
     std::unordered_map<const GroupRun*, std::size_t> storage_count;
     for (const GroupRun* g : active_groups_storage_) ++storage_count[g];
     std::unordered_set<const GroupRun*> owned;
-    for (const auto& g : groups_) owned.insert(g.get());
+    for (const GroupRun& g : groups_) owned.insert(&g);
     for (const auto& [g, n] : storage_count) {
       HARMONY_VALIDATE(v, owned.contains(g))
           << "active-groups cache holds a pointer groups_ does not own";
       HARMONY_VALIDATE(v, n == 1)
           << check::group(g->id) << "active-groups cache lists a group " << n << " times";
     }
-    for (const auto& g : groups_)
-      if (!g->dissolved)
-        HARMONY_VALIDATE(v, storage_count.contains(g.get()))
-            << check::group(g->id) << "live group missing from the active-groups cache";
+    for (const GroupRun& g : groups_)
+      if (!g.dissolved)
+        HARMONY_VALIDATE(v, storage_count.contains(&g))
+            << check::group(g.id) << "live group missing from the active-groups cache";
   }
 
   // -- pending regroup ------------------------------------------------------
@@ -238,37 +267,39 @@ void ClusterSim::corrupt_for_test(Corruption kind) {
   switch (kind) {
     case Corruption::kBadIndexEntry: {
       // Insert a job that is not waiting into the waiting index.
-      for (const auto& j : jobs_) {
-        if (j->in_waiting_index) continue;
+      for (const SimJob& j : jobs_) {
+        if (j.in_waiting_index) continue;
         const auto it =
-            std::lower_bound(waiting_ids_.begin(), waiting_ids_.end(), j->spec.id);
-        waiting_ids_.insert(it, j->spec.id);
+            std::lower_bound(waiting_ids_.begin(), waiting_ids_.end(), j.spec.id);
+        waiting_ids_.insert(it, j.spec.id);
         return;
       }
       break;
     }
     case Corruption::kOverAllocatedMachine: {
       // A group grabs a machine the free pool never released.
-      for (const auto& g : groups_)
-        if (!g->dissolved) {
-          ++g->machines;
+      for (GroupRun& g : groups_)
+        if (!g.dissolved) {
+          ++g.machines;
           return;
         }
       break;
     }
     case Corruption::kSkewedSpillAlpha: {
-      for (const auto& j : jobs_)
-        if (j->group != nullptr) {
-          j->alpha = 1.5;
+      // Raw write on purpose: bypasses set_alpha so neither the range check
+      // nor the cache invalidation sees it (the validator must catch both).
+      for (const SimJob& j : jobs_)
+        if (j.group != nullptr) {
+          job_alpha_[j.spec.id] = 1.5;
           return;
         }
       break;
     }
     case Corruption::kBrokenMembership: {
       // Group forgets a member that still points at it.
-      for (const auto& g : groups_)
-        if (!g->dissolved && !g->members.empty()) {
-          g->members.erase(g->members.begin());
+      for (GroupRun& g : groups_)
+        if (!g.dissolved && !g.members.empty()) {
+          g.members.erase(g.members.begin());
           return;
         }
       break;

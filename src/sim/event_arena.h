@@ -1,0 +1,171 @@
+// Slab-allocated, type-erased storage for pending event callbacks.
+//
+// Every scheduled event used to carry a std::function whose capture state
+// lived in its own heap allocation; at millions of events per simulated run
+// the allocator became a first-order cost. The arena replaces that with
+// fixed-size slots carved out of 1024-slot slabs: scheduling placement-news
+// the callable into a free slot, firing invokes it in place, and the slot
+// returns to a freelist. Slabs are never moved or freed while the arena
+// lives, so payload addresses stay stable for the whole event lifetime.
+//
+// Slots are reused aggressively, so a (slot, generation) pair — not the slot
+// index — identifies one scheduled event. The generation bumps whenever a
+// slot is cancelled or claimed for firing, which makes stale cancels O(1)
+// harmless no-ops exactly like the old tombstone scheme, without the
+// unordered_set lookup per event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace harmony::sim {
+
+class EventArena {
+ public:
+  // Sized for the largest hot-path capture: a resource completion closure
+  // (one back-pointer plus an inline SmallFn continuation). Larger callables
+  // fall back to a heap box — rare, and still one allocation instead of
+  // std::function's manager machinery.
+  static constexpr std::size_t kPayloadBytes = 80;
+  static constexpr std::size_t kSlabSlots = 1024;
+
+  struct Handle {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  ~EventArena() {
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      Slot& s = slot_at(i);
+      if (s.state != Slot::kFree) s.destroy(s.payload);
+    }
+  }
+
+  // Stores `f` in a free slot (reusing the freelist before growing a new
+  // slab) and returns its handle. Generations start at 1, so a packed
+  // (gen << 32 | slot) id is never 0.
+  template <typename F>
+  Handle emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot_at(idx);
+    if constexpr (sizeof(Fn) <= kPayloadBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(s.payload)) Fn(std::forward<F>(f));  // lint: allow-naked-new placement into slot storage
+      s.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+      s.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      // Oversized callable: box it. The payload holds only the pointer.
+      auto boxed = std::make_unique<Fn>(std::forward<F>(f));
+      ::new (static_cast<void*>(s.payload)) Fn*(boxed.release());  // lint: allow-naked-new placement into slot storage
+      s.invoke = [](void* p) { (**static_cast<Fn**>(p))(); };
+      s.destroy = [](void* p) { delete *static_cast<Fn**>(p); };  // lint: allow-naked-new boxed payload teardown
+    }
+    s.state = Slot::kLive;
+    ++live_;
+    return Handle{idx, s.gen};
+  }
+
+  // True while the event identified by (slot, gen) is pending: scheduled and
+  // neither fired nor cancelled.
+  bool is_live(std::uint32_t slot, std::uint32_t gen) const noexcept {
+    if (slot >= size_) return false;
+    const Slot& s = slot_at(slot);
+    return s.gen == gen && s.state == Slot::kLive;
+  }
+
+  // Claims a live slot for firing. Returns false when the handle is stale
+  // (the event was cancelled, already fired, or reused). On success the
+  // generation bumps immediately, so a cancel issued from inside the callback
+  // against the firing event's own id is a no-op — the same contract the
+  // tombstone scheme provided by erasing the id before invoking.
+  bool begin_fire(std::uint32_t slot, std::uint32_t gen) noexcept {
+    if (slot >= size_) return false;
+    Slot& s = slot_at(slot);
+    if (s.gen != gen || s.state != Slot::kLive) return false;
+    s.state = Slot::kFiring;
+    ++s.gen;
+    --live_;
+    return true;
+  }
+
+  // Invokes a slot claimed by begin_fire, then destroys the payload and
+  // returns the slot to the freelist — also when the callback throws
+  // (validator CheckErrors propagate through the event loop).
+  void fire_and_release(std::uint32_t slot) {
+    Slot& s = slot_at(slot);
+    struct Release {
+      EventArena* arena;
+      Slot* slot;
+      std::uint32_t idx;
+      ~Release() {
+        slot->destroy(slot->payload);
+        slot->state = Slot::kFree;
+        arena->free_.push_back(idx);
+      }
+    } release{this, &s, slot};
+    s.invoke(s.payload);
+  }
+
+  // Cancels a pending event. Returns false (and does nothing) for stale
+  // handles.
+  bool cancel(std::uint32_t slot, std::uint32_t gen) noexcept {
+    if (slot >= size_) return false;
+    Slot& s = slot_at(slot);
+    if (s.gen != gen || s.state != Slot::kLive) return false;
+    s.destroy(s.payload);
+    s.state = Slot::kFree;
+    ++s.gen;
+    --live_;
+    free_.push_back(slot);
+    return true;
+  }
+
+  std::size_t live() const noexcept { return live_; }
+  std::uint32_t slots() const noexcept { return size_; }
+
+ private:
+  struct Slot {
+    enum State : std::uint8_t { kFree, kLive, kFiring };
+
+    void (*invoke)(void*) = nullptr;
+    void (*destroy)(void*) = nullptr;
+    std::uint32_t gen = 1;
+    State state = kFree;
+    alignas(std::max_align_t) unsigned char payload[kPayloadBytes];
+  };
+
+  Slot& slot_at(std::uint32_t idx) noexcept {
+    return slabs_[idx / kSlabSlots][idx % kSlabSlots];
+  }
+  const Slot& slot_at(std::uint32_t idx) const noexcept {
+    return slabs_[idx / kSlabSlots][idx % kSlabSlots];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      return idx;
+    }
+    if (size_ % kSlabSlots == 0)
+      slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+    return size_++;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t size_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace harmony::sim

@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <list>
+#include <deque>
 #include <string>
 #include <unordered_map>
 
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 
 namespace harmony::sim {
 
@@ -32,7 +32,8 @@ using TaskId = std::uint64_t;
 // Serves queued tasks one at a time in submission order.
 class FifoResource {
  public:
-  using DoneFn = std::function<void()>;
+  // Inline-storage continuation: submitting a task costs no heap allocation.
+  using DoneFn = SmallFn<48>;
 
   FifoResource(Simulator& sim, std::string name);
 
@@ -64,7 +65,7 @@ class FifoResource {
 
   Simulator& sim_;
   std::string name_;
-  std::list<Pending> pending_;
+  std::deque<Pending> pending_;
   bool running_ = false;
   double busy_accum_ = 0.0;
   double busy_since_ = 0.0;
@@ -79,7 +80,7 @@ class FifoResource {
 // the super-linear slowdown naive co-location exhibits.
 class SharedResource {
  public:
-  using DoneFn = std::function<void()>;
+  using DoneFn = SmallFn<48>;
 
   SharedResource(Simulator& sim, std::string name, double capacity,
                  double interference = 0.0);

@@ -1,38 +1,56 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <stdexcept>
-#include <unordered_map>
+#include <vector>
 
 namespace harmony::sim {
 
-EventId Simulator::schedule_at(double t, Callback cb) {
-  if (t < now_) throw std::invalid_argument("Simulator: scheduling into the past");
-  const EventId id = next_id_++;
-  heap_.push_back(Event{t, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
-  live_.insert(id);
-  return id;
+void Simulator::push_node(const EventNode& n) {
+  if (queue_kind_ == EventQueueKind::kCalendar)
+    calendar_.push(n);
+  else
+    heap_.push(n);
+}
+
+bool Simulator::pop_node(EventNode& out) {
+  if (queue_kind_ == EventQueueKind::kCalendar) return calendar_.pop_min(out);
+  return heap_.pop_min(out);
+}
+
+std::size_t Simulator::queue_nodes() const noexcept {
+  return queue_kind_ == EventQueueKind::kCalendar ? calendar_.size() : heap_.size();
+}
+
+void Simulator::maybe_compact() {
+  // Lazy deletion leaves the cancelled node behind; sweep the orphans out
+  // once they outnumber the live events (the +64 floor avoids thrashing tiny
+  // queues). Pop order is unaffected — survivors keep their (time, seq) keys.
+  if (queue_nodes() > 2 * arena_.live() + 64) {
+    if (queue_kind_ == EventQueueKind::kCalendar)
+      calendar_.compact(arena_);
+    else
+      heap_.compact(arena_);
+  }
 }
 
 void Simulator::cancel(EventId id) {
-  // Cancelling an already-fired or unknown id is a harmless no-op; the
-  // orphaned heap node is discarded when it reaches the top.
-  live_.erase(id);
+  // Cancelling an already-fired or unknown id is a harmless no-op; the arena
+  // generation check rejects stale handles in O(1).
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (arena_.cancel(slot, gen)) maybe_compact();
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    if (live_.erase(ev.id) == 0) continue;  // cancelled tombstone
+  EventNode node;
+  while (pop_node(node)) {
+    if (!arena_.begin_fire(node.slot, node.gen)) continue;  // cancelled orphan
     // Pops must be time-monotonic or causality breaks silently downstream.
-    HARMONY_DCHECK(ev.time >= now_)
-        << "event " << ev.id << " fires at " << ev.time << " but clock is at " << now_;
-    now_ = ev.time;
+    HARMONY_DCHECK(node.time >= now_)
+        << "event " << node.seq << " fires at " << node.time << " but clock is at "
+        << now_;
+    now_ = node.time;
     ++fired_;
-    ev.cb();
+    arena_.fire_and_release(node.slot);
     return true;
   }
   return false;
@@ -43,52 +61,78 @@ void Simulator::run(std::uint64_t max_events) {
   while (n < max_events && step()) ++n;
 }
 
-void Simulator::validate(check::Validation& v) const {
-  // Brute-force recount of heap nodes per live id, and the true minimum over
-  // live pending events.
-  std::unordered_map<EventId, std::size_t> node_count;
-  const Event* min_live = nullptr;
-  for (const Event& ev : heap_) {
-    if (live_.find(ev.id) == live_.end()) continue;  // tombstone
-    ++node_count[ev.id];
-    if (min_live == nullptr || *min_live > ev) min_live = &ev;
-  }
-  HARMONY_VALIDATE(v, node_count.size() == live_.size())
-      << "live set has " << live_.size() << " ids but the heap holds nodes for "
-      << node_count.size() << " of them";
-  for (const auto& [id, count] : node_count)
-    HARMONY_VALIDATE(v, count == 1)
-        << "event " << id << " has " << count << " heap nodes (expected exactly 1)";
-  if (min_live != nullptr) {
-    HARMONY_VALIDATE(v, min_live->time >= now_)
-        << "clock " << now_ << " ran past pending event " << min_live->id << " at "
-        << min_live->time << " (event-heap pops would be non-monotonic)";
-    // Full heap-property sweep (parent <= child in pop order); with the
-    // property intact, pop_heap serves live events in time order even with
-    // tombstones interleaved.
-    for (std::size_t i = 1; i < heap_.size(); ++i) {
-      const Event& parent = heap_[(i - 1) / 2];
-      const Event& child = heap_[i];
-      HARMONY_VALIDATE(v, !(parent > child))
-          << "heap property violated between nodes " << (i - 1) / 2 << " and " << i
-          << " (times " << parent.time << " vs " << child.time << ")";
-    }
-  }
-}
-
 void Simulator::run_until(double t) {
-  while (!heap_.empty()) {
-    // Skip tombstones cheaply before peeking at the time.
-    const Event& ev = heap_.front();
-    if (live_.find(ev.id) == live_.end()) {
-      std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-      heap_.pop_back();
-      continue;
+  EventNode node;
+  while (pop_node(node)) {
+    if (!arena_.is_live(node.slot, node.gen)) continue;  // drop orphans cheaply
+    if (node.time > t) {
+      // Went one past the horizon: re-insert. The node keeps its (time, seq)
+      // key, so FIFO order within its instant is preserved.
+      push_node(node);
+      break;
     }
-    if (ev.time > t) break;
-    step();
+    if (!arena_.begin_fire(node.slot, node.gen)) continue;
+    HARMONY_DCHECK(node.time >= now_)
+        << "event " << node.seq << " fires at " << node.time << " but clock is at "
+        << now_;
+    now_ = node.time;
+    ++fired_;
+    arena_.fire_and_release(node.slot);
   }
   if (t > now_) now_ = t;
+}
+
+void Simulator::validate(check::Validation& v) const {
+  // Brute-force recount of queue nodes per live event, and the true minimum
+  // over live pending events — on whichever queue implementation is active.
+  std::vector<std::uint8_t> node_count(arena_.slots(), 0);
+  std::size_t live_nodes = 0;
+  const EventNode* min_live = nullptr;
+  EventNode min_copy{};
+  auto visit = [&](const EventNode& n) {
+    if (!arena_.is_live(n.slot, n.gen)) return;  // orphan of a cancelled event
+    ++node_count[n.slot];
+    ++live_nodes;
+    if (min_live == nullptr || node_before(n, *min_live)) {
+      min_copy = n;
+      min_live = &min_copy;
+    }
+  };
+  if (queue_kind_ == EventQueueKind::kCalendar)
+    calendar_.for_each(visit);
+  else
+    heap_.for_each(visit);
+
+  HARMONY_VALIDATE(v, live_nodes == arena_.live())
+      << "arena holds " << arena_.live() << " live events but the queue holds nodes for "
+      << live_nodes << " of them";
+  for (std::size_t slot = 0; slot < node_count.size(); ++slot)
+    HARMONY_VALIDATE(v, node_count[slot] <= 1)
+        << "event in arena slot " << slot << " has "
+        << static_cast<unsigned>(node_count[slot]) << " queue nodes (expected exactly 1)";
+  if (min_live != nullptr) {
+    HARMONY_VALIDATE(v, min_live->time >= now_)
+        << "clock " << now_ << " ran past pending event " << min_live->seq << " at "
+        << min_live->time << " (event-queue pops would be non-monotonic)";
+  }
+  if (queue_kind_ == EventQueueKind::kCalendar)
+    calendar_.validate_structure(v);
+  else
+    heap_.validate_structure(v);
+}
+
+void Simulator::corrupt_queue_order_for_test() {
+  if (queue_kind_ == EventQueueKind::kCalendar)
+    calendar_.corrupt_order_for_test();
+  else
+    heap_.corrupt_order_for_test();
+}
+
+void Simulator::corrupt_queue_duplicate_for_test() {
+  if (queue_kind_ == EventQueueKind::kCalendar)
+    calendar_.push_duplicate_for_test();
+  else
+    heap_.push_duplicate_for_test();
 }
 
 }  // namespace harmony::sim

@@ -5,38 +5,66 @@
 // react to them; simulated time advances only through the event queue, so a
 // full 80-job / 100-machine day-long experiment runs in milliseconds of wall
 // time and is bit-reproducible from the RNG seeds.
+//
+// Internally an event is two pieces: the callback payload lives in an
+// EventArena slot (slab storage, no per-event heap allocation) and a 24-byte
+// EventNode in the priority queue carries (time, seq, arena handle). Two
+// queue implementations are selectable at construction — a binary heap (the
+// reference) and a calendar queue (O(1) amortized, the default) — with an
+// identical pop order: earliest time first, then scheduling order. The
+// golden-determinism tests pin that both produce bit-identical runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
-#include <vector>
+#include <stdexcept>
+#include <utility>
 
 #include "check/check.h"
+#include "sim/event_arena.h"
+#include "sim/event_queue.h"
 
 namespace harmony::sim {
 
+// An EventId packs the arena handle: (generation << 32) | slot. Generations
+// start at 1, so 0 never names a real event.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
+enum class EventQueueKind : std::uint8_t { kBinaryHeap, kCalendar };
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
-  Simulator() = default;
+  explicit Simulator(EventQueueKind queue = EventQueueKind::kCalendar)
+      : queue_kind_(queue) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   // Current simulated time in seconds.
   double now() const noexcept { return now_; }
 
-  // Schedules `cb` at absolute time `t` (must be >= now). Events scheduled for
-  // the same instant fire in scheduling order (stable FIFO tie-break).
-  EventId schedule_at(double t, Callback cb);
-  EventId schedule_in(double dt, Callback cb) { return schedule_at(now_ + dt, std::move(cb)); }
+  EventQueueKind queue_kind() const noexcept { return queue_kind_; }
+
+  // Schedules `cb` (any void() callable; captured state moves into the event
+  // arena) at absolute time `t` (must be >= now). Events scheduled for the
+  // same instant fire in scheduling order (stable FIFO tie-break).
+  template <typename F>
+  EventId schedule_at(double t, F&& cb) {
+    if (t < now_) throw std::invalid_argument("Simulator: scheduling into the past");
+    const EventArena::Handle h = arena_.emplace(std::forward<F>(cb));
+    push_node(EventNode{t, next_seq_++, h.slot, h.gen});
+    return (static_cast<EventId>(h.gen) << 32) | h.slot;
+  }
+  template <typename F>
+  EventId schedule_in(double dt, F&& cb) {
+    return schedule_at(now_ + dt, std::forward<F>(cb));
+  }
 
   // Cancels a pending event; cancelling an already-fired or unknown id is a
   // harmless no-op (resources rely on this when they reschedule completions).
+  // The queue node becomes an orphan and is dropped when popped; when orphans
+  // outnumber live events the queue is compacted so aggressive cancellation
+  // cannot grow the queue without bound.
   void cancel(EventId id);
 
   // Executes the next pending event. Returns false when the queue is empty.
@@ -49,48 +77,43 @@ class Simulator {
   // Runs events with time <= t, then advances the clock to exactly t.
   void run_until(double t);
 
-  bool empty() const noexcept { return live_.empty(); }
+  bool empty() const noexcept { return arena_.live() == 0; }
   std::uint64_t events_fired() const noexcept { return fired_; }
   // Live (non-cancelled) pending events; observability samples this as the
   // event-queue depth.
-  std::size_t pending() const noexcept { return live_.size(); }
+  std::size_t pending() const noexcept { return arena_.live(); }
+  // Queue nodes including cancelled orphans awaiting a pop or a compaction;
+  // bounded at 2 * pending() + a constant (see cancel()).
+  std::size_t queue_nodes() const noexcept;
 
   // Deep validator: cross-checks the incrementally maintained queue state
-  // against a brute-force scan — every live id has exactly one heap node, the
-  // heap root is the minimum over live events (pops are therefore
-  // time-monotonic), and the clock has not run past any pending event.
+  // against a brute-force scan — every live event has exactly one queue node,
+  // the queue minimum over live events is >= the clock (pops are therefore
+  // time-monotonic), and the active implementation's structural invariants
+  // (heap property / calendar bucket placement) hold.
   void validate(check::Validation& v) const;
 
   // Test-only corruption hook: forces the clock to `t` without draining the
   // queue, so validate() can demonstrate detection of a non-monotonic state.
   void corrupt_clock_for_test(double t) noexcept { now_ = t; }
+  // Test-only corruption hooks for the queue structure: misorder a node
+  // (heap-property / bucket-placement breakage) or duplicate one (recount
+  // breakage).
+  void corrupt_queue_order_for_test();
+  void corrupt_queue_duplicate_for_test();
 
  private:
-  struct Event {
-    double time;
-    EventId id;
-    // Firing moves the callback straight out of the heap node, so an event
-    // costs one heap sift instead of a hash lookup + map erase per event.
-    Callback cb;
+  void push_node(const EventNode& n);
+  bool pop_node(EventNode& out);
+  void maybe_compact();
 
-    // Orders the min-heap: earliest time first, then insertion order.
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return id > other.id;
-    }
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const noexcept { return a > b; }
-  };
-
-  // Min-heap (std::make_heap family with EventAfter). Cancellation just drops
-  // the id from live_; the heap node stays behind as a tombstone and is
-  // skipped when popped.
-  std::vector<Event> heap_;
-  std::unordered_set<EventId> live_;
+  EventQueueKind queue_kind_;
+  BinaryHeapQueue heap_;
+  CalendarQueue calendar_;
+  EventArena arena_;
 
   double now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
 };
 

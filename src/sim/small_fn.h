@@ -1,0 +1,86 @@
+// Move-only callable with inline storage — the event-payload type for the
+// simulated resources. Replaces std::function in the DES hot path: capturing
+// a completion continuation costs zero heap allocations, and moving one is a
+// memcpy-sized relocation instead of a manager-function round trip.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace harmony::sim {
+
+// A void() callable with `Capacity` bytes of inline storage. A callable
+// larger than Capacity is a compile error (grow the capacity at the call
+// site) — silently heap-boxing would defeat the allocation-free contract the
+// event arena relies on.
+template <std::size_t Capacity = 48>
+class SmallFn {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity, "callable exceeds SmallFn capacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "callable is over-aligned for SmallFn storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "SmallFn requires nothrow-movable callables");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));  // lint: allow-naked-new placement into inline storage
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    manage_ = [](void* dst, void* src) {
+      if (dst != nullptr)
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));  // lint: allow-naked-new placement relocate
+      static_cast<Fn*>(src)->~Fn();
+    };
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr) {
+      manage_(nullptr, buf_);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  // Relocates `other`'s payload into this object and leaves `other` empty.
+  void move_from(SmallFn& other) noexcept {
+    if (other.invoke_ != nullptr) {
+      other.manage_(buf_, other.buf_);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  // manage_(dst, src): move-construct src's payload into dst (when dst is
+  // non-null), then destroy src's payload. One pointer covers both relocate
+  // and destroy so the inline footprint stays two words past the buffer.
+  void (*manage_)(void*, void*) = nullptr;
+};
+
+}  // namespace harmony::sim

@@ -171,6 +171,33 @@ class LintSelfTest(unittest.TestCase):
              "void f() { harmony::obs::MetricsRegistry::instance(); }\n"},
             "read-only-analysis")
 
+    # --- event-payload ----------------------------------------------------
+
+    def test_std_function_banned_in_sim(self):
+        self.assert_finding(
+            {"src/sim/bad.h": HEADER + "#include <functional>\n"
+             "std::function<void()> cb;\n"},
+            "event-payload", "SmallFn")
+
+    def test_std_function_banned_in_exp(self):
+        self.assert_finding(
+            {"src/exp/bad.cpp": "std::function<double(int)> f;\n"},
+            "event-payload")
+
+    def test_std_function_marker_escapes(self):
+        self.assert_clean(
+            {"src/sim/cold.h": HEADER +
+             "#include <functional>  // lint: allow-std-function: config-time hook\n"
+             "std::function<void()> on_setup;  // lint: allow-std-function: cold path\n"})
+
+    def test_std_function_fine_outside_event_dirs(self):
+        self.assert_clean(
+            {"src/harmony/hook.cpp": "std::function<void()> cb;\n"})
+
+    def test_commented_std_function_not_flagged(self):
+        self.assert_clean(
+            {"src/sim/doc.cpp": "// replaces std::function in the hot path\nint x;\n"})
+
     # --- reporting --------------------------------------------------------
 
     def test_rule_counts_line(self):

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -83,6 +85,132 @@ TEST(Simulator, MaxEventsGuard) {
   sim.run(100);
   EXPECT_EQ(sim.events_fired(), 100u);
 }
+
+// ---------------------------------------------------------------------------
+// Behaviour pinned across both event-queue implementations. The calendar
+// queue is the default; the binary heap is the reference — every observable
+// (fire order, clock, cancellation semantics) must be identical.
+
+class QueueKinds : public ::testing::TestWithParam<EventQueueKind> {};
+
+TEST_P(QueueKinds, FireOrderAndFifoTieBreak) {
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(20); });
+  sim.schedule_at(1.0, [&] { order.push_back(10); });
+  sim.schedule_at(1.0, [&] { order.push_back(11); });  // same instant: FIFO
+  sim.schedule_at(1.0, [&] { order.push_back(12); });
+  sim.schedule_at(0.5, [&] { order.push_back(5); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 11, 12, 20}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST_P(QueueKinds, FarFutureEventsFireInOrder) {
+  // Exercises the calendar queue's far ladder: timestamps spanning ten
+  // orders of magnitude, interleaved with near-term work.
+  Simulator sim(GetParam());
+  std::vector<double> fired;
+  for (double t : {1e9, 0.25, 3e6, 2.0, 7e4, 0.5, 1e9, 12.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  sim.run();
+  const std::vector<double> want{0.25, 0.5, 2.0, 12.0, 7e4, 3e6, 1e9, 1e9};
+  EXPECT_EQ(fired, want);
+}
+
+TEST_P(QueueKinds, RunUntilDoesNotDisturbTieOrder) {
+  // run_until pops one event past the horizon and re-inserts it; the
+  // re-inserted node must keep its place among same-instant peers.
+  Simulator sim(GetParam());
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] { order.push_back(2); });
+  sim.schedule_at(5.0, [&] { order.push_back(3); });
+  sim.run_until(4.0);
+  EXPECT_TRUE(order.empty());
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_P(QueueKinds, CancelledEventsNeverFire) {
+  Simulator sim(GetParam());
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(sim.schedule_at(1.0 + i, [&] { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) sim.cancel(ids[i]);
+  sim.run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST_P(QueueKinds, SelfCancelDuringFireIsNoop) {
+  // Cancelling the event that is currently firing, from inside its own
+  // callback, must be harmless (the generation already bumped).
+  Simulator sim(GetParam());
+  int fired = 0;
+  EventId id = kInvalidEvent;
+  id = sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.cancel(id);
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST_P(QueueKinds, OrphanCompactionBoundsQueueGrowth) {
+  // Lazy deletion leaves cancelled nodes in the queue. Aggressive
+  // cancel/reschedule churn must not grow the queue without bound: the
+  // compaction trigger caps queue nodes at 2 * live + 64.
+  Simulator sim(GetParam());
+  int fired = 0;
+  std::vector<EventId> live;
+  // A small set of survivors plus a huge churn of cancelled events.
+  for (int i = 0; i < 8; ++i)
+    live.push_back(sim.schedule_at(1e6 + i, [&] { ++fired; }));
+  for (int round = 0; round < 2000; ++round) {
+    const EventId id = sim.schedule_at(10.0 + round, [&] { ++fired; });
+    sim.cancel(id);
+    ASSERT_LE(sim.queue_nodes(), 2 * sim.pending() + 64)
+        << "round " << round << ": orphans accumulate without bound";
+  }
+  EXPECT_EQ(sim.pending(), 8u);
+  sim.run();
+  EXPECT_EQ(fired, 8);
+}
+
+TEST_P(QueueKinds, ValidatorCleanOnBusyQueue) {
+  Simulator sim(GetParam());
+  for (int i = 0; i < 500; ++i) sim.schedule_at(0.5 * i, [] {});
+  for (double t : {1e7, 2e9, 5e4}) sim.schedule_at(t, [] {});
+  // Drain a prefix so calendar buckets have been consumed and rotated.
+  sim.run(200);
+  check::Validation v("sim");
+  sim.validate(v);
+  EXPECT_TRUE(v.report().ok()) << v.report().to_string();
+}
+
+TEST_P(QueueKinds, ValidatorDetectsClockCorruption) {
+  Simulator sim(GetParam());
+  sim.schedule_at(5.0, [] {});
+  sim.corrupt_clock_for_test(100.0);
+  check::Validation v("sim");
+  sim.validate(v);
+  const auto report = v.report();
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("ran past pending event"), std::string::npos)
+      << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothQueues, QueueKinds,
+                         ::testing::Values(EventQueueKind::kBinaryHeap,
+                                           EventQueueKind::kCalendar),
+                         [](const ::testing::TestParamInfo<EventQueueKind>& info) {
+                           return info.param == EventQueueKind::kCalendar ? "Calendar"
+                                                                          : "BinaryHeap";
+                         });
 
 // ---------------------------------------------------------------------------
 

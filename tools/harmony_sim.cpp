@@ -7,6 +7,8 @@
 //     --arrival batch|poisson:SEC|trace:SEC   arrival process (default batch)
 //     --seed S                          simulation seed       (default 1)
 //     --spill on|off                    data spill/reload     (default on)
+//     --event-queue calendar|heap       simulator event-queue implementation
+//                                       (default calendar; both bit-identical)
 //     --naive-seed S                    naive grouping shuffle seed
 //     --error F                         profile error injection, e.g. 0.1
 //     --timeline                        print the utilization timeline
@@ -52,6 +54,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                "usage: %s [--policy harmony|isolated|naive] [--jobs N] [--machines M]\n"
                "          [--arrival batch|poisson:SEC|trace:SEC] [--seed S]\n"
                "          [--spill on|off] [--naive-seed S] [--error F]\n"
+               "          [--event-queue calendar|heap]\n"
                "          [--timeline] [--validate] [--trace]\n"
                "          [--chrome-trace FILE] [--metrics FILE] [--report DIR]\n"
                "          [--log-level debug|info|warn|error] [--help]\n",
@@ -103,6 +106,15 @@ int main(int argc, char** argv) {
       config.naive_grouping_seed = std::stoull(next());
     } else if (arg == "--spill") {
       config.spill_enabled = next() == "on";
+    } else if (arg == "--event-queue") {
+      const std::string kind = next();
+      if (kind == "calendar") {
+        config.event_queue = sim::EventQueueKind::kCalendar;
+      } else if (kind == "heap") {
+        config.event_queue = sim::EventQueueKind::kBinaryHeap;
+      } else {
+        usage_error(argv[0], "unknown event queue '" + kind + "'");
+      }
     } else if (arg == "--error") {
       config.model_error_injection = std::stod(next());
     } else if (arg == "--timeline") {
@@ -144,23 +156,27 @@ int main(int argc, char** argv) {
     const auto err = config.model_error_injection;
     const auto trace = config.debug_trace;
     const auto validate = config.validate;
+    const auto queue = config.event_queue;
     config = exp::ClusterSimConfig::isolated();
     config.seed = seed;
     config.machines = machines;
     config.model_error_injection = err;
     config.debug_trace = trace;
     config.validate = validate;
+    config.event_queue = queue;
   } else if (policy == "naive") {
     const auto seed = config.seed;
     const auto machines = config.machines;
     const auto gseed = config.naive_grouping_seed;
     const auto trace = config.debug_trace;
     const auto validate = config.validate;
+    const auto queue = config.event_queue;
     config = exp::ClusterSimConfig::naive(gseed == 0 ? 1 : gseed);
     config.seed = seed;
     config.machines = machines;
     config.debug_trace = trace;
     config.validate = validate;
+    config.event_queue = queue;
   } else if (policy != "harmony") {
     usage_error(argv[0], "unknown policy '" + policy + "'");
   }

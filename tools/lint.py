@@ -37,6 +37,13 @@ Project rules (always run, no dependencies beyond the stdlib):
                    include src/exp or src/obs/analysis. Enforced by parsing
                    `#include "..."` lines; tools/tests are exempt (they may
                    reach any module).
+  event-payload    DES event callbacks live in the EventArena as SmallFn
+                   payloads (src/sim/small_fn.h); a std::function in the sim
+                   or exp layer reintroduces the per-event heap allocation the
+                   arena exists to remove, so naming std::function (or
+                   including <functional>) there is banned. Escape hatch for
+                   genuinely cold paths: `// lint: allow-std-function` with a
+                   justification.
   read-only-analysis
                    src/obs/analysis is a pure interpretation layer: it derives
                    reports from trace/metrics snapshots and must never touch
@@ -84,9 +91,14 @@ SYNC_HEADER = "src/common/sync.h"
 ALLOW_NAKED_NEW = "lint: allow-naked-new"
 ALLOW_NONDET = "lint: allow-nondeterminism"
 ALLOW_RAW_MUTEX = "lint: allow-raw-mutex"
+ALLOW_STD_FUNCTION = "lint: allow-std-function"
+
+# Directories where event payloads are hot: std::function's type-erased heap
+# state is banned in favor of sim::SmallFn / the EventArena.
+EVENT_PAYLOAD_DIRS = ("src/sim", "src/exp")
 
 RULE_NAMES = ("nondeterminism", "naked-new", "header-hygiene", "lock-discipline",
-              "layering", "read-only-analysis")
+              "layering", "read-only-analysis", "event-payload")
 
 NONDET_PATTERNS = [
     (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() is banned; use common::Rng with an explicit seed"),
@@ -259,6 +271,14 @@ def lint_file(root: str, path: str, findings: Findings):
                          "wall-clock type in deterministic code; only the obs "
                          "wall-clock domain reads real time (or mark the line "
                          f"`// {ALLOW_NONDET}` with a justification)")
+
+        if rel.startswith(EVENT_PAYLOAD_DIRS) and ALLOW_STD_FUNCTION not in raw:
+            if re.search(r"std::function\b", code) or \
+               re.search(r"#\s*include\s*<functional>", line):
+                findings.add(root, path, line_no, "event-payload",
+                             "std::function heap-allocates per event; use sim::SmallFn "
+                             "or an EventArena payload (or mark the line "
+                             f"`// {ALLOW_STD_FUNCTION}` with a justification)")
 
         if check_locks and ALLOW_RAW_MUTEX not in raw:
             for pattern, message in RAW_SYNC_PATTERNS:
