@@ -1,0 +1,60 @@
+// Online-service scheduling-plane throughput (google-benchmark): full
+// svc::Service runs — open-loop poisson arrivals, admission control,
+// incremental join/leave repair with drift-triggered full repacks — at
+// increasing cluster scale, reporting scheduling events (joins + leaves +
+// rejections + full reschedules) per wall-second. The 10k-machine row is the
+// headline: the service must sustain >= 100k scheduling events/sec there
+// (tools/bench_compare.py gates regressions against bench/results/
+// HISTORY.json).
+//
+// The arrival rate deliberately over-subscribes the cluster so every event
+// class stays hot: steady joins/leaves, a full admission queue shedding load,
+// and periodic drift escalations.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "exp/workload.h"
+#include "svc/service.h"
+
+using namespace harmony;
+
+namespace {
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const double arrival_rate = static_cast<double>(state.range(1));
+  const auto catalog = exp::make_catalog();
+  std::uint64_t events = 0;
+  double sim_seconds = 0.0;
+  for (auto _ : state) {
+    svc::ServiceConfig config;
+    config.machines = machines;
+    config.duration_sec = 20000.0;
+    config.mean_interarrival_sec = 1.0 / arrival_rate;
+    config.queue_capacity = 4096;
+    config.seed = 11;
+    svc::Service service(config, catalog);
+    const auto summary = service.run();
+    benchmark::DoNotOptimize(summary.final_score);
+    events += summary.scheduling_events;
+    sim_seconds += summary.duration_sec;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_sec_per_wall"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(machines) + " machines / " +
+                 std::to_string(state.range(1)) + " jobs/s offered");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServiceThroughput)
+    ->Args({1000, 2})
+    ->Args({10000, 5})
+    ->Unit(benchmark::kMillisecond);
+
+HARMONY_BENCHMARK_JSON_MAIN("BENCH_svc_throughput.json");

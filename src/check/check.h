@@ -51,6 +51,16 @@ inline MachineTag machine(std::uint64_t id) noexcept {
   return {static_cast<std::uint32_t>(id)};
 }
 
+// True when `value` is no worse than `reference` minus a relative slack:
+// value >= reference - slack * |reference| (with a tiny absolute floor so
+// near-zero references do not demand exact equality). The comparison the
+// bounded-equivalence validators use: an approximation may trail the exact
+// answer, but only by the documented fraction.
+inline bool within_relative_slack(double value, double reference, double slack) noexcept {
+  const double tolerance = slack * (reference < 0 ? -reference : reference) + 1e-12;
+  return value >= reference - tolerance;
+}
+
 struct FailureReport {
   std::string file;
   int line = 0;

@@ -546,4 +546,19 @@ ScheduleDecision Scheduler::schedule(std::span<const SchedJob> jobs,
   return best;
 }
 
+ScheduleDecision Scheduler::repack(std::span<const SchedJob> jobs,
+                                   std::size_t machines) const {
+  if (machines == 0) throw std::invalid_argument("repack: zero machines");
+  if (jobs.empty()) return {};
+  for (const SchedJob& j : jobs)
+    if (!j.profile.valid()) throw std::invalid_argument("repack: invalid profile");
+
+  // Steps 1-3 over the whole set, no prefix growth: pick_core's min_groups
+  // floor (ceil(jobs / max_jobs_per_group)) keeps every group within the
+  // member cap, so the result places every job.
+  Scratch& s = scratch();
+  const CoreResult r = evaluate_core(params_, model_, jobs, machines, s);
+  return materialize(jobs, r, s);
+}
+
 }  // namespace harmony::core

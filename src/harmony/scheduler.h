@@ -70,6 +70,15 @@ class Scheduler {
   // the growth loop stops before reaching it.
   ScheduleDecision schedule(std::span<const SchedJob> jobs, std::size_t machines) const;
 
+  // Re-packs an already-admitted job set: steps 1-3 of Algorithm 1 over *all*
+  // of `jobs`, with enough groups to respect max_jobs_per_group — no prefix
+  // growth, nothing parked. schedule() optimizes which queue prefix to admit;
+  // repack() re-optimizes the layout of jobs that are already running and so
+  // cannot be evicted (the online service's full-reschedule escalation, and
+  // the reference the incremental-vs-full equivalence validator scores
+  // against).
+  ScheduleDecision repack(std::span<const SchedJob> jobs, std::size_t machines) const;
+
   // Step 2 of the algorithm, exposed for tests and for the regrouper: assigns
   // `jobs` into `num_groups` groups (no machine counts yet).
   std::vector<std::vector<SchedJob>> assign_jobs(std::span<const SchedJob> jobs,

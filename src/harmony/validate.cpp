@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace harmony::core {
@@ -104,6 +105,44 @@ void validate_spill_store(const DiskSpillStore& store, check::Validation& v) {
   HARMONY_VALIDATE(v, store.spilled_total_ >= store.bytes_on_disk_)
       << "cumulative spilled bytes (" << store.spilled_total_
       << ") below current on-disk bytes (" << store.bytes_on_disk_ << ")";
+}
+
+void validate_incremental_state(const IncrementalScheduler& inc, check::Validation& v) {
+  inc.validate(v);
+}
+
+void validate_incremental_vs_full(const IncrementalScheduler& inc, const Scheduler& full,
+                                  double slack, check::Validation& v) {
+  const std::vector<SchedJob> pool = inc.pool();
+  if (pool.empty()) return;  // nothing placed; trivially equivalent
+
+  // Score against a full-algorithm *repack* of the same job set — both sides
+  // then place every job, so the scores share an objective. (schedule()
+  // proper optimizes an admission prefix and may park pool-tail jobs; its
+  // score is not comparable to a state that must keep every job running.)
+  const ScheduleDecision decision = full.repack(pool, inc.total_machines());
+  validate_decision(decision, pool, inc.total_machines(), v);
+
+  // Score the full decision with the same model the incremental state uses.
+  std::vector<GroupShape> shapes;
+  shapes.reserve(decision.groups.size());
+  std::unordered_map<JobId, JobProfile> profiles;
+  profiles.reserve(pool.size());
+  for (const SchedJob& j : pool) profiles.emplace(j.id, j.profile);
+  for (const GroupPlan& plan : decision.groups) {
+    GroupShape shape;
+    shape.machines = plan.machines;
+    shape.jobs.reserve(plan.jobs.size());
+    for (JobId id : plan.jobs) shape.jobs.push_back(profiles.at(id));
+    shapes.push_back(std::move(shape));
+  }
+  const double full_score = inc.model().score(shapes);
+  const double inc_score = inc.current_score();
+
+  HARMONY_VALIDATE(v, check::within_relative_slack(inc_score, full_score, slack))
+      << "incremental grouping scores " << inc_score << " vs " << full_score
+      << " for a full Algorithm-1 repack of the same " << pool.size()
+      << " jobs — beyond the documented drift bound (slack " << slack << ")";
 }
 
 }  // namespace harmony::core

@@ -9,6 +9,7 @@
 #include <span>
 
 #include "check/check.h"
+#include "harmony/incremental.h"
 #include "harmony/scheduler.h"
 #include "harmony/spill_manager.h"
 #include "harmony/spill_store.h"
@@ -36,5 +37,27 @@ void validate_block_manager(const BlockManager& blocks, check::Validation& v);
 // every ledger entry has a backing file of exactly the serialized size
 // (header + payload). Catches skewed accounting and lost/truncated spills.
 void validate_spill_store(const DiskSpillStore& store, check::Validation& v);
+
+// Structural invariants of an IncrementalScheduler (machine conservation,
+// membership index consistency, cached aggregates vs a from-scratch
+// recompute). Thin forwarding wrapper so every deep validator is reachable
+// from one header.
+void validate_incremental_state(const IncrementalScheduler& inc, check::Validation& v);
+
+// Incremental-vs-full-reschedule equivalence: re-runs full Algorithm 1
+// (`full`) over the incremental state's own job pool and machine budget and
+// checks that the modelled score of the locally-repaired grouping stays
+// within `slack` (relative) of the from-scratch decision's modelled score.
+// This is the documented drift bound of the online service: local repair may
+// trail a fresh Algorithm-1 run, but once the gap exceeds the drift
+// threshold a full re-run is triggered, so the steady-state gap is bounded
+// by drift_threshold plus the score the bounded probe window gives up on a
+// single join. `slack` should therefore be chosen comfortably above
+// inc.params().drift_threshold (the service defaults pair 0.10 with 0.35).
+// The comparison scores each grouping over the machines it actually
+// allocates, so a full decision that parks jobs (schedules a prefix) is
+// still comparable.
+void validate_incremental_vs_full(const IncrementalScheduler& inc, const Scheduler& full,
+                                  double slack, check::Validation& v);
 
 }  // namespace harmony::core

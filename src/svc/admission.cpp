@@ -1,0 +1,47 @@
+#include "svc/admission.h"
+
+#include <algorithm>
+
+namespace harmony::svc {
+
+const char* to_string(AdmissionPolicy policy) noexcept {
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kShortestJct:
+      return "sjf";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> parse_admission_policy(std::string_view name) noexcept {
+  if (name == "fifo") return AdmissionPolicy::kFifo;
+  if (name == "sjf" || name == "shortest-jct") return AdmissionPolicy::kShortestJct;
+  return std::nullopt;
+}
+
+bool AdmissionQueue::offer(PendingJob p) {
+  ++offered_;
+  if (q_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<PendingJob> AdmissionQueue::poll() {
+  if (q_.empty()) return std::nullopt;
+  auto it = q_.begin();
+  if (policy_ == AdmissionPolicy::kShortestJct) {
+    it = std::min_element(q_.begin(), q_.end(), [](const PendingJob& a, const PendingJob& b) {
+      if (a.expected_jct != b.expected_jct) return a.expected_jct < b.expected_jct;
+      return a.seq < b.seq;
+    });
+  }
+  PendingJob out = std::move(*it);
+  q_.erase(it);
+  return out;
+}
+
+}  // namespace harmony::svc

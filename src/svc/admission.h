@@ -1,0 +1,76 @@
+// Admission control for the online scheduling service: a bounded pending
+// queue in front of the cluster, with a pluggable dequeue policy and
+// load-shedding accounting.
+//
+// The service is open-loop — arrivals do not slow down when the cluster is
+// full — so an unbounded queue would grow without limit whenever the offered
+// load exceeds capacity. Admission control caps the queue: offers beyond the
+// capacity are shed (rejected) and counted, which turns overload into a
+// measurable rejection rate instead of unbounded queueing delay (the
+// OASiS-style admission decision, reduced to its queueing essentials).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "harmony/scheduler.h"
+
+namespace harmony::svc {
+
+enum class AdmissionPolicy {
+  kFifo,         // arrival order
+  kShortestJct,  // shortest expected JCT first (SJF; minimizes mean wait)
+};
+
+const char* to_string(AdmissionPolicy policy) noexcept;
+std::optional<AdmissionPolicy> parse_admission_policy(std::string_view name) noexcept;
+
+// One queued job: the scheduler-facing profile plus the admission metadata
+// the policies key on.
+struct PendingJob {
+  core::SchedJob job;
+  double arrival_time = 0.0;
+  // Modelled isolated JCT at the job's balance-point DoP; the kShortestJct
+  // sort key (stale-ness is fine: it is an estimate, not a promise).
+  double expected_jct = 0.0;
+  std::uint64_t seq = 0;  // admission order; FIFO key and SJF tie-break
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(AdmissionPolicy policy, std::size_t capacity)
+      : policy_(policy), capacity_(capacity) {}
+
+  // Enqueues unless the queue is at capacity; a false return is a shed
+  // (rejected) job, counted in rejected().
+  bool offer(PendingJob p);
+
+  // Dequeues the next job per policy: FIFO head, or the smallest
+  // (expected_jct, seq). O(size) for kShortestJct — the queue is bounded, so
+  // this is bounded work too. nullopt when empty.
+  std::optional<PendingJob> poll();
+
+  // Returns a polled-but-unplaceable job to the queue head without touching
+  // the offer/reject accounting (the service stops draining on the first job
+  // the cluster cannot take).
+  void restore(PendingJob p) { q_.push_front(std::move(p)); }
+
+  std::size_t size() const noexcept { return q_.size(); }
+  bool empty() const noexcept { return q_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  AdmissionPolicy policy() const noexcept { return policy_; }
+
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  AdmissionPolicy policy_;
+  std::size_t capacity_;
+  std::deque<PendingJob> q_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace harmony::svc

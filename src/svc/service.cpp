@@ -1,0 +1,334 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "harmony/validate.h"
+#include "obs/metrics.h"
+
+namespace harmony::svc {
+
+namespace {
+
+// Decision-latency / throughput accounting only: wall readings are reported
+// (how fast is the scheduling plane on this host) and never feed back into
+// simulated time, so the determinism of the service run is unaffected.
+using WallClock = std::chrono::steady_clock;  // lint: allow-nondeterminism
+
+double wall_seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+struct SvcMetrics {
+  obs::Counter& arrivals;
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& full_reschedules;
+  obs::HistogramMetric& queue_delay_sec;
+  obs::HistogramMetric& jct_sec;
+  obs::HistogramMetric& decision_latency_us;
+  obs::Gauge& queue_depth;
+  obs::Gauge& running_jobs;
+  obs::Gauge& free_machines;
+
+  static SvcMetrics& instance() {
+    auto& reg = obs::MetricsRegistry::instance();
+    static SvcMetrics m{reg.counter("svc.arrivals"),
+                        reg.counter("svc.admitted"),
+                        reg.counter("svc.rejected"),
+                        reg.counter("svc.completed"),
+                        reg.counter("svc.joins"),
+                        reg.counter("svc.leaves"),
+                        reg.counter("svc.full_reschedules"),
+                        reg.histogram("svc.queue_delay_sec", 0.0, 3600.0, 72),
+                        reg.histogram("svc.jct_sec", 0.0, 86400.0, 96),
+                        reg.histogram("svc.decision_latency_us", 0.0, 1000.0, 100),
+                        reg.gauge("svc.queue_depth"),
+                        reg.gauge("svc.running_jobs"),
+                        reg.gauge("svc.free_machines")};
+    return m;
+  }
+};
+
+double mean_of(const SampleSet& s) { return s.empty() ? 0.0 : s.mean(); }
+double quantile_of(const SampleSet& s, double q) { return s.empty() ? 0.0 : s.quantile(q); }
+
+}  // namespace
+
+Service::Service(ServiceConfig config, std::vector<exp::WorkloadSpec> catalog)
+    : config_(std::move(config)),
+      catalog_(std::move(catalog)),
+      full_(config_.scheduler),
+      placement_(config_.incremental, config_.machines),
+      queue_(config_.admission, config_.queue_capacity),
+      sim_(config_.event_queue),
+      rng_(config_.seed) {
+  HARMONY_CHECK(!catalog_.empty()) << "service needs a non-empty job catalog";
+  HARMONY_CHECK(config_.machines > 0) << "service needs machines";
+  HARMONY_CHECK(config_.arrival_kind != "batch")
+      << "the open-loop service needs a positive-rate arrival process";
+  HARMONY_CHECK(config_.equivalence_slack > config_.incremental.drift_threshold)
+      << "equivalence slack " << config_.equivalence_slack
+      << " must exceed the drift threshold " << config_.incremental.drift_threshold
+      << " (the bound includes one threshold's worth of tolerated decay)";
+  stream_ = exp::make_arrival_stream(config_.arrival_kind, config_.mean_interarrival_sec,
+                                     rng_.next_u64());
+}
+
+PendingJob Service::make_pending(core::JobId id) {
+  const exp::WorkloadSpec& spec = catalog_[id % catalog_.size()];
+  core::JobProfile profile = spec.profile();
+  profile.cpu_work *= rng_.lognormal_noise(config_.profile_jitter_cv);
+  profile.t_net *= rng_.lognormal_noise(config_.profile_jitter_cv);
+
+  PendingJob p;
+  p.job = core::SchedJob{id, profile};
+  p.seq = id;
+  const std::size_t iterations = std::min(spec.iterations, config_.max_iterations);
+  // Isolated-run estimate at the balance-point DoP; the SJF admission key.
+  std::size_t dop = config_.machines;
+  if (profile.t_net > 0.0) {
+    dop = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(profile.cpu_work / profile.t_net)), 1,
+        config_.machines);
+  }
+  p.expected_jct = static_cast<double>(iterations) * profile.t_itr(dop);
+  return p;
+}
+
+void Service::count_scheduling_event() {
+  ++summary_.scheduling_events;
+  maybe_validate();
+}
+
+void Service::maybe_validate() {
+  if (config_.validate_every_events == 0) return;
+  if (summary_.scheduling_events % config_.validate_every_events != 0) return;
+  const auto report = validate_state();
+  ++summary_.validations_run;
+  if (!report.ok()) check::fail(report.failures.front());
+}
+
+check::ValidationReport Service::validate_state() const {
+  check::Validation v("svc.service");
+  core::validate_incremental_state(placement_, v);
+  core::validate_incremental_vs_full(placement_, full_, config_.equivalence_slack, v);
+  HARMONY_VALIDATE(v, queue_.size() <= queue_.capacity())
+      << "pending queue holds " << queue_.size() << " jobs over a capacity of "
+      << queue_.capacity();
+  HARMONY_VALIDATE(v, queue_.rejected() <= queue_.offered())
+      << "rejection accounting: " << queue_.rejected() << " shed of "
+      << queue_.offered() << " offered";
+  return v.report();
+}
+
+bool Service::try_place(PendingJob& p) {
+  auto& metrics = SvcMetrics::instance();
+  const auto t0 = WallClock::now();
+  const auto placed = placement_.join(p.job);
+  if (!placed) return false;
+  const double latency_us = 1e6 * wall_seconds_since(t0);
+  decision_latencies_us_.add(latency_us);
+  metrics.decision_latency_us.observe(latency_us);
+
+  ++summary_.incremental_joins;
+  if (placed->created_group) ++summary_.groups_created;
+  metrics.joins.add();
+  count_scheduling_event();
+
+  const double now = sim_.now();
+  const double delay = now - p.arrival_time;
+  queue_delays_.add(delay);
+  metrics.queue_delay_sec.observe(delay);
+
+  const exp::WorkloadSpec& spec = catalog_[p.job.id % catalog_.size()];
+  const auto iterations =
+      static_cast<double>(std::min(spec.iterations, config_.max_iterations));
+  const double service_time = iterations * placed->group_t_itr;
+  ++running_;
+  metrics.running_jobs.set(static_cast<double>(running_));
+  metrics.free_machines.set(static_cast<double>(placement_.free_machines()));
+  sim_.schedule_in(service_time, [this, id = p.job.id, at = p.arrival_time] {
+    on_departure(id, at);
+  });
+  return true;
+}
+
+void Service::on_departure(core::JobId id, double arrival_time) {
+  auto& metrics = SvcMetrics::instance();
+  const auto t0 = WallClock::now();
+  HARMONY_CHECK(placement_.leave(id)) << check::job(id) << "departure of an unplaced job";
+  decision_latencies_us_.add(1e6 * wall_seconds_since(t0));
+
+  ++summary_.incremental_leaves;
+  metrics.leaves.add();
+  count_scheduling_event();
+
+  --running_;
+  ++summary_.completed;
+  metrics.completed.add();
+  const double jct = sim_.now() - arrival_time;
+  jcts_.add(jct);
+  metrics.jct_sec.observe(jct);
+  metrics.running_jobs.set(static_cast<double>(running_));
+  metrics.free_machines.set(static_cast<double>(placement_.free_machines()));
+
+  drain_queue();
+  maybe_full_reschedule();
+  metrics.queue_depth.set(static_cast<double>(queue_.size()));
+}
+
+void Service::drain_queue() {
+  while (auto p = queue_.poll()) {
+    if (try_place(*p)) continue;
+    queue_.restore(std::move(*p));
+    break;
+  }
+}
+
+void Service::maybe_full_reschedule() {
+  if (!placement_.needs_full_reschedule()) return;
+  if (summary_.scheduling_events - events_at_last_full_ <
+      config_.full_reschedule_cooldown_events)
+    return;
+  full_reschedule();
+  drain_queue();  // a redistribution may open room for queued jobs
+}
+
+void Service::full_reschedule() {
+  const auto pool = placement_.pool();
+  if (pool.empty()) {
+    // Nothing to repack (drift fired on free-pool growth after a full drain);
+    // just reset the baseline so the trigger disarms.
+    placement_.rebaseline();
+    events_at_last_full_ = summary_.scheduling_events;
+    return;
+  }
+
+  // Repack *all* running jobs. Scheduler::schedule() proper optimizes an
+  // admission prefix and may park queue-tail jobs — correct at submission
+  // time, but a running job cannot be evicted by a background re-pack.
+  const core::ScheduleDecision decision = full_.repack(pool, config_.machines);
+  placement_.adopt(decision, pool);
+  for (const core::SchedJob& j : pool)
+    HARMONY_CHECK(placement_.contains(j.id))
+        << check::job(j.id) << "full reschedule stranded a running job";
+
+  ++summary_.full_reschedules;
+  SvcMetrics::instance().full_reschedules.add();
+  events_at_last_full_ = summary_.scheduling_events;
+  count_scheduling_event();
+}
+
+void Service::on_arrival() {
+  auto& metrics = SvcMetrics::instance();
+  ++summary_.arrivals;
+  metrics.arrivals.add();
+  HARMONY_CHECK(next_id_ < core::kNoJob) << "service job ids exhausted";
+  PendingJob p = make_pending(static_cast<core::JobId>(next_id_++));
+  p.arrival_time = sim_.now();
+
+  // Queue-ahead fairness: an arrival only bypasses the queue when nothing is
+  // waiting; otherwise it lines up and the drain order is the policy's call.
+  bool settled = false;
+  if (queue_.empty() && try_place(p)) {
+    ++summary_.admitted;
+    metrics.admitted.add();
+    settled = true;
+  }
+  if (!settled) {
+    if (queue_.offer(std::move(p))) {
+      ++summary_.admitted;
+      metrics.admitted.add();
+    } else {
+      ++summary_.rejected;
+      metrics.rejected.add();
+      count_scheduling_event();  // a shed is a scheduling decision too
+    }
+  }
+  maybe_full_reschedule();
+  metrics.queue_depth.set(static_cast<double>(queue_.size()));
+
+  const double t = stream_->next();
+  if (t <= config_.duration_sec) {
+    sim_.schedule_at(t, [this] { on_arrival(); });
+  }
+}
+
+ServiceSummary Service::run() {
+  HARMONY_CHECK(!ran_) << "Service::run is single-shot";
+  ran_ = true;
+
+  const auto wall0 = WallClock::now();
+  const double first = stream_->next();
+  if (first <= config_.duration_sec) {
+    sim_.schedule_at(first, [this] { on_arrival(); });
+  }
+  sim_.run();
+  summary_.wall_seconds = wall_seconds_since(wall0);
+
+  summary_.duration_sec = config_.duration_sec;
+  summary_.running_at_end = running_;
+  summary_.queued_at_end = queue_.size();
+  summary_.queue_delay_mean = mean_of(queue_delays_);
+  summary_.queue_delay_p50 = quantile_of(queue_delays_, 0.5);
+  summary_.queue_delay_p99 = quantile_of(queue_delays_, 0.99);
+  summary_.jct_mean = mean_of(jcts_);
+  summary_.jct_p50 = quantile_of(jcts_, 0.5);
+  summary_.jct_p99 = quantile_of(jcts_, 0.99);
+  summary_.final_score = placement_.current_score();
+  summary_.final_drift = placement_.drift();
+  summary_.live_groups_at_end = placement_.live_group_count();
+  summary_.free_machines_at_end = placement_.free_machines();
+  summary_.events_per_wall_sec =
+      summary_.wall_seconds > 0.0
+          ? static_cast<double>(summary_.scheduling_events) / summary_.wall_seconds
+          : 0.0;
+  summary_.decision_latency_mean_us = mean_of(decision_latencies_us_);
+  summary_.decision_latency_p99_us = quantile_of(decision_latencies_us_, 0.99);
+  return summary_;
+}
+
+std::string ServiceSummary::report() const {
+  char buf[2048];
+  const double reject_pct =
+      arrivals > 0 ? 100.0 * static_cast<double>(rejected) / static_cast<double>(arrivals)
+                   : 0.0;
+  std::snprintf(
+      buf, sizeof(buf),
+      "service report (harmony-svc-v1)\n"
+      "duration            %12.1f s\n"
+      "arrivals            %12llu\n"
+      "admitted            %12llu\n"
+      "rejected            %12llu  (%.2f%%)\n"
+      "completed           %12llu\n"
+      "running at end      %12llu\n"
+      "queued at end       %12llu\n"
+      "scheduling events   %12llu  (joins %llu, leaves %llu, full reschedules %llu, "
+      "groups created %llu)\n"
+      "queue delay         mean %10.2f s   p50 %10.2f s   p99 %10.2f s\n"
+      "JCT                 mean %10.2f h   p50 %10.2f h   p99 %10.2f h\n"
+      "modelled score      %12.6f  (drift %.6f)\n"
+      "live groups         %12zu\n"
+      "free machines       %12zu\n",
+      duration_sec, static_cast<unsigned long long>(arrivals),
+      static_cast<unsigned long long>(admitted), static_cast<unsigned long long>(rejected),
+      reject_pct, static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(running_at_end),
+      static_cast<unsigned long long>(queued_at_end),
+      static_cast<unsigned long long>(scheduling_events),
+      static_cast<unsigned long long>(incremental_joins),
+      static_cast<unsigned long long>(incremental_leaves),
+      static_cast<unsigned long long>(full_reschedules),
+      static_cast<unsigned long long>(groups_created), queue_delay_mean, queue_delay_p50,
+      queue_delay_p99, jct_mean / 3600.0, jct_p50 / 3600.0, jct_p99 / 3600.0, final_score,
+      final_drift, live_groups_at_end, free_machines_at_end);
+  return buf;
+}
+
+}  // namespace harmony::svc

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CLI contract test for harmony-sim.
+
+Pins the help/usage surface (every documented mode and flag family appears in
+--help, including the service-mode flags) and the error discipline: unknown
+options, unknown enum values, and mode-invalid combinations must exit 2 with a
+message that *names* the offending input, never a bare usage dump. Also smokes
+the service mode itself: two same-seed runs must produce byte-identical
+stdout (the deterministic report; wall-clock stats go to stderr).
+
+Registered in ctest as `test_cli` with the binary path as argv[1].
+Run directly: python3 tests/test_cli.py /path/to/harmony-sim
+"""
+
+import subprocess
+import sys
+import unittest
+
+BINARY = None
+
+
+def run(*args):
+    return subprocess.run([BINARY, *args], stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, timeout=120)
+
+
+class CliTest(unittest.TestCase):
+    def test_help_documents_all_modes(self):
+        proc = run("--help")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for flag in ("--policy", "--jobs", "--machines", "--arrival", "--seed",
+                     "--event-queue", "--validate", "--metrics",
+                     # service mode
+                     "--service", "--duration", "--arrival-rate", "--admission",
+                     "--queue-cap", "--drift"):
+            self.assertIn(flag, proc.stdout, f"--help must document {flag}")
+        self.assertIn("fifo|sjf", proc.stdout)
+
+    def assert_named_error(self, fragment, *args):
+        proc = run(*args)
+        self.assertEqual(proc.returncode, 2,
+                         f"expected usage error for {args}: {proc.stdout}")
+        self.assertIn(fragment, proc.stderr,
+                      f"error for {args} must name the input:\n{proc.stderr}")
+        self.assertIn("usage:", proc.stderr)
+
+    def test_unknown_option_is_named(self):
+        self.assert_named_error("--frobnicate", "--frobnicate")
+
+    def test_unknown_enum_values_are_named(self):
+        self.assert_named_error("bogus", "--policy", "bogus")
+        self.assert_named_error("wheel", "--service", "--admission", "wheel")
+        self.assert_named_error("skiplist", "--event-queue", "skiplist")
+        self.assert_named_error("uniform", "--arrival", "uniform:3")
+
+    def test_missing_value_is_named(self):
+        self.assert_named_error("--machines", "--machines")
+
+    def test_service_rejects_batch_arrivals(self):
+        self.assert_named_error("batch", "--service", "--arrival", "batch")
+
+    def test_service_runs_are_bit_identical(self):
+        args = ("--service", "--duration", "1200", "--arrival-rate", "0.2",
+                "--machines", "80", "--seed", "5")
+        first = run(*args)
+        second = run(*args, "--validate")  # validators must not perturb stdout
+        self.assertEqual(first.returncode, 0, first.stderr)
+        self.assertEqual(second.returncode, 0, second.stderr)
+        self.assertEqual(first.stdout, second.stdout)
+        self.assertIn("service report (harmony-svc-v1)", first.stdout)
+        self.assertIn("scheduling events", first.stdout)
+        # Wall-clock stats are stderr-only: nondeterministic surface.
+        self.assertIn("events/s", second.stderr)
+        self.assertNotIn("events/s", first.stdout)
+
+    def test_service_sjf_policy_accepted(self):
+        proc = run("--service", "--duration", "600", "--arrival-rate", "0.2",
+                   "--machines", "60", "--admission", "sjf", "--queue-cap", "16",
+                   "--drift", "0.2")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("admission=sjf", proc.stdout)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit("usage: test_cli.py /path/to/harmony-sim")
+    BINARY = sys.argv.pop(1)
+    unittest.main(verbosity=2)

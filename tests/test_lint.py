@@ -125,6 +125,29 @@ class LintSelfTest(unittest.TestCase):
             {"tools/probe.cpp": '#include "exp/cluster_sim.h"\n',
              "tests/test_y.cpp": '#include "obs/analysis/report.h"\n'})
 
+    def test_svc_sits_above_exp(self):
+        self.assert_clean(
+            {"src/svc/service.cpp":
+                '#include "exp/arrivals.h"\n#include "harmony/incremental.h"\n'
+                '#include "sim/simulator.h"\n'})
+
+    def test_nothing_below_svc_may_reach_it(self):
+        self.assert_finding(
+            {"src/exp/run.cpp": '#include "svc/service.h"\n'},
+            "layering", "exp -> svc")
+        self.assert_finding(
+            {"src/harmony/sched.cpp": '#include "svc/admission.h"\n'},
+            "layering", "harmony -> svc")
+
+    def test_svc_is_wall_clock_banned(self):
+        self.assert_finding(
+            {"src/svc/lat.cpp": "auto t = std::chrono::steady_clock::now();\n"},
+            "nondeterminism")
+        self.assert_clean(
+            {"src/svc/lat.cpp":
+             "using WallClock = std::chrono::steady_clock;"
+             "  // lint: allow-nondeterminism latency metrics only\n"})
+
     # --- nondeterminism ---------------------------------------------------
 
     def test_wall_clock_banned_in_sim(self):

@@ -1,4 +1,5 @@
-// harmony_sim — command-line driver for cluster-scale scheduling experiments.
+// harmony_sim — command-line driver for cluster-scale scheduling experiments
+// and the online scheduling service (src/svc).
 //
 //   harmony_sim [options]
 //     --policy harmony|isolated|naive   scheduling policy   (default harmony)
@@ -6,6 +7,21 @@
 //     --machines M                      cluster size          (default 100)
 //     --arrival batch|poisson:SEC|trace:SEC   arrival process (default batch)
 //     --seed S                          simulation seed       (default 1)
+//
+//   Service mode (open-loop continuous arrivals, incremental rescheduling,
+//   admission control; deterministic report on stdout, wall-clock throughput
+//   on stderr):
+//     --service                         run the online service instead of a
+//                                       finite workload replay
+//     --duration SEC                    arrival horizon     (default 86400)
+//     --arrival-rate R                  offered load, jobs/sec (default 1);
+//                                       --arrival poisson:SEC|trace:SEC picks
+//                                       the process shape (batch is rejected:
+//                                       the service is open-loop)
+//     --admission fifo|sjf              pending-queue policy  (default fifo)
+//     --queue-cap N                     pending-queue capacity (default 1024)
+//     --drift F                         full-reschedule drift threshold
+//                                       (default 0.10)
 //     --spill on|off                    data spill/reload     (default on)
 //     --event-queue calendar|heap       simulator event-queue implementation
 //                                       (default calendar; both bit-identical)
@@ -44,6 +60,7 @@
 #include "obs/analysis/report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "svc/service.h"
 
 using namespace harmony;
 
@@ -57,8 +74,13 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--event-queue calendar|heap]\n"
                "          [--timeline] [--validate] [--trace]\n"
                "          [--chrome-trace FILE] [--metrics FILE] [--report DIR]\n"
-               "          [--log-level debug|info|warn|error] [--help]\n",
-               argv0);
+               "          [--log-level debug|info|warn|error] [--help]\n"
+               "service mode (deterministic report on stdout, wall stats on stderr):\n"
+               "       %s --service [--duration SEC] [--arrival-rate JOBS_PER_SEC]\n"
+               "          [--admission fifo|sjf] [--queue-cap N] [--drift F]\n"
+               "          [--machines M] [--arrival poisson:SEC|trace:SEC] [--seed S]\n"
+               "          [--event-queue calendar|heap] [--validate] [--metrics FILE]\n",
+               argv0, argv0);
 }
 
 [[noreturn]] void usage_error(const char* argv0, const std::string& message) {
@@ -77,11 +99,16 @@ int main(int argc, char** argv) {
   exp::ClusterSimConfig config = exp::ClusterSimConfig::harmony();
   std::string policy = "harmony";
   std::string arrival = "batch";
+  bool arrival_set = false;
   std::string chrome_trace_file;
   std::string metrics_file;
   std::string report_dir;
   std::size_t jobs = 80;
   bool timeline = false;
+
+  bool service_mode = false;
+  bool machines_set = false;
+  svc::ServiceConfig svc_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,8 +125,31 @@ int main(int argc, char** argv) {
       jobs = std::stoul(next());
     } else if (arg == "--machines") {
       config.machines = std::stoul(next());
+      machines_set = true;
     } else if (arg == "--arrival") {
       arrival = next();
+      arrival_set = true;
+    } else if (arg == "--service") {
+      service_mode = true;
+    } else if (arg == "--duration") {
+      svc_config.duration_sec = std::stod(next());
+      if (svc_config.duration_sec <= 0.0)
+        usage_error(argv[0], "--duration must be positive");
+    } else if (arg == "--arrival-rate") {
+      const double rate = std::stod(next());
+      if (rate <= 0.0) usage_error(argv[0], "--arrival-rate must be positive");
+      svc_config.mean_interarrival_sec = 1.0 / rate;
+    } else if (arg == "--admission") {
+      const std::string name = next();
+      const auto policy = svc::parse_admission_policy(name);
+      if (!policy) usage_error(argv[0], "unknown admission policy '" + name + "'");
+      svc_config.admission = *policy;
+    } else if (arg == "--queue-cap") {
+      svc_config.queue_capacity = std::stoul(next());
+    } else if (arg == "--drift") {
+      svc_config.incremental.drift_threshold = std::stod(next());
+      if (svc_config.incremental.drift_threshold <= 0.0)
+        usage_error(argv[0], "--drift must be positive");
     } else if (arg == "--seed") {
       config.seed = std::stoull(next());
     } else if (arg == "--naive-seed") {
@@ -149,6 +199,64 @@ int main(int argc, char** argv) {
 
   if (!chrome_trace_file.empty() || !report_dir.empty())
     obs::Tracer::instance().set_enabled(true);
+
+  if (service_mode) {
+    if (arrival_set) {
+      if (arrival.rfind("poisson:", 0) == 0) {
+        svc_config.arrival_kind = "poisson";
+        svc_config.mean_interarrival_sec = parse_suffixed(arrival, "poisson:");
+      } else if (arrival.rfind("trace:", 0) == 0) {
+        svc_config.arrival_kind = "trace";
+        svc_config.mean_interarrival_sec = parse_suffixed(arrival, "trace:");
+      } else if (arrival == "batch") {
+        usage_error(argv[0],
+                    "arrival process 'batch' is not open-loop; service mode "
+                    "needs poisson:SEC or trace:SEC");
+      } else {
+        usage_error(argv[0], "unknown arrival process '" + arrival + "'");
+      }
+    }
+    if (machines_set) svc_config.machines = config.machines;
+    svc_config.seed = config.seed;
+    svc_config.event_queue = config.event_queue;
+    if (config.validate) svc_config.validate_every_events = 256;
+    // Keep the equivalence validator meaningful when --drift is raised above
+    // the default slack (the Service constructor requires slack > threshold).
+    if (svc_config.equivalence_slack <= svc_config.incremental.drift_threshold)
+      svc_config.equivalence_slack = svc_config.incremental.drift_threshold + 0.25;
+
+    std::printf("service machines=%zu duration=%.0fs arrival=%s mean=%.3fs "
+                "admission=%s queue-cap=%zu drift=%.2f seed=%llu\n\n",
+                svc_config.machines, svc_config.duration_sec,
+                svc_config.arrival_kind.c_str(), svc_config.mean_interarrival_sec,
+                svc::to_string(svc_config.admission), svc_config.queue_capacity,
+                svc_config.incremental.drift_threshold,
+                static_cast<unsigned long long>(svc_config.seed));
+
+    svc::Service service(svc_config, exp::make_catalog());
+    const auto summary = service.run();
+    std::fputs(summary.report().c_str(), stdout);
+
+    // Wall-clock block on stderr: nondeterministic, kept out of the golden
+    // stdout surface (CI smokes diff two same-seed runs byte-for-byte).
+    std::fprintf(stderr,
+                 "wall %.3f s | %.0f scheduling events/s | decision latency "
+                 "mean %.1f us p99 %.1f us\n",
+                 summary.wall_seconds, summary.events_per_wall_sec,
+                 summary.decision_latency_mean_us, summary.decision_latency_p99_us);
+    if (svc_config.validate_every_events != 0)
+      std::fprintf(stderr, "validation: %zu passes, all invariants clean\n",
+                   summary.validations_run);
+
+    if (!metrics_file.empty()) {
+      if (!obs::MetricsRegistry::instance().write_json_file(metrics_file)) {
+        std::fprintf(stderr, "%s: cannot write metrics to %s\n", argv[0],
+                     metrics_file.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   if (policy == "isolated") {
     const auto seed = config.seed;

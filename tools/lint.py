@@ -77,10 +77,13 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose code must be deterministic (simulation + scheduling core).
-DETERMINISTIC_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/common")
+DETERMINISTIC_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/common",
+                      "src/svc")
 # Directories where even reading a wall clock is banned (src/common is spared:
 # logging timestamps live there, and they never feed back into simulation).
-CLOCK_BANNED_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines")
+# src/svc measures decision latency off a wall clock, but only at the one
+# marked choke point (its report never feeds simulated time).
+CLOCK_BANNED_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/svc")
 # All directories subject to the generic rules.
 SOURCE_DIRS = ("src", "tools", "tests")
 SOURCE_EXTS = (".h", ".cpp")
@@ -141,6 +144,8 @@ ALLOWED_DEPS = {
     "baselines": {"common", "check", "cluster", "ml", "obs", "ps", "harmony"},
     "obs/analysis": {"common", "obs"},
     "exp": {"common", "check", "cluster", "ml", "obs", "sim", "ps", "harmony", "baselines"},
+    "svc": {"common", "check", "cluster", "ml", "obs", "sim", "ps", "harmony", "baselines",
+            "exp"},
 }
 
 INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
