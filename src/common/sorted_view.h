@@ -1,0 +1,103 @@
+// Deterministic iteration over unordered associative containers.
+//
+// Hash-table iteration order is a function of bucket count, hash seed and
+// insertion history — never part of the determinism contract. Any loop over
+// an unordered_map/unordered_set whose body *escapes* values (accumulates a
+// float, appends to a vector, emits a trace line) leaks that order into
+// results. tools/detlint.py flags such loops; routing them through
+// sorted_view() restores a canonical (key-sorted) order at the cost of one
+// pointer sort, which is fine for the cold paths (validators, teardown,
+// reporting) where these loops belong. Hot paths should switch the container
+// itself to ordered_map instead.
+//
+//   for (const auto& [job, bytes] : common::sorted_view(sizes_)) { ... }
+//
+// The view holds pointers into the container: it must not outlive the
+// container, and the container must not be mutated while the view is alive.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace harmony::common {
+
+namespace detail {
+
+// Key of a container element: .first for map value_types, the value itself
+// for set value_types.
+template <typename V>
+constexpr const auto& view_key(const V& v) {
+  if constexpr (requires { v.first; }) {
+    return v.first;
+  } else {
+    return v;
+  }
+}
+
+}  // namespace detail
+
+template <typename Container, typename Less>
+class SortedView {
+ public:
+  using value_type = typename Container::value_type;
+
+  SortedView(const Container& c, Less less) {
+    items_.reserve(c.size());
+    // detlint: sorted-iteration(collect-then-sort is the view's whole point)
+    for (const auto& v : c) items_.push_back(&v);
+    std::sort(items_.begin(), items_.end(), [&less](const value_type* a, const value_type* b) {
+      return less(detail::view_key(*a), detail::view_key(*b));
+    });
+  }
+
+  struct Iterator {
+    const value_type* const* p = nullptr;
+    const value_type& operator*() const { return **p; }
+    const value_type* operator->() const { return *p; }
+    Iterator& operator++() {
+      ++p;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return p != o.p; }
+    bool operator==(const Iterator& o) const { return p == o.p; }
+  };
+
+  Iterator begin() const { return Iterator{items_.data()}; }
+  Iterator end() const { return Iterator{items_.data() + items_.size()}; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<const value_type*> items_;
+};
+
+// Key-sorted, reference-semantics view of an unordered container. Iterating
+// the view yields the container's value_type (pairs for maps) in ascending
+// key order under `less`.
+template <typename Container, typename Less = std::less<>>
+SortedView<Container, Less> sorted_view(const Container& c, Less less = Less{}) {
+  return SortedView<Container, Less>(c, less);
+}
+
+// Sorted copy of a container's keys (maps) or values (sets); handy when the
+// loop needs to mutate the container while walking it.
+template <typename Container, typename Less = std::less<>>
+auto sorted_keys(const Container& c, Less less = Less{}) {
+  using Key = std::remove_cvref_t<decltype(detail::view_key(*c.begin()))>;
+  std::vector<Key> keys;
+  keys.reserve(c.size());
+  // detlint: sorted-iteration(collect-then-sort is the view's whole point)
+  for (const auto& v : c) keys.push_back(detail::view_key(v));
+  std::sort(keys.begin(), keys.end(), less);
+  return keys;
+}
+
+// The drop-in alternative for hot paths: an ordered map whose iteration
+// order is the key order by construction. Prefer this over sorting per walk
+// when the container is iterated more often than it is mutated.
+template <typename K, typename V, typename Less = std::less<K>>
+using ordered_map = std::map<K, V, Less>;
+
+}  // namespace harmony::common

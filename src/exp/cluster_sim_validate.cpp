@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/sorted_view.h"
 #include "exp/cluster_sim_internal.h"
 
 namespace harmony::exp {
@@ -211,16 +212,22 @@ check::ValidationReport ClusterSim::validate_state() const {
     for (const GroupRun* g : active_groups_storage_) ++storage_count[g];
     std::unordered_set<const GroupRun*> owned;
     for (const GroupRun& g : groups_) owned.insert(&g);
-    for (const auto& [g, n] : storage_count) {
+    // Walk the storage vector and the owning deque — both deterministic — and
+    // only *look up* the pointer-keyed map, so no failure report depends on
+    // pointer-hash iteration order.
+    for (const GroupRun* g : active_groups_storage_)
       HARMONY_VALIDATE(v, owned.contains(g))
           << "active-groups cache holds a pointer groups_ does not own";
-      HARMONY_VALIDATE(v, n == 1)
-          << check::group(g->id) << "active-groups cache lists a group " << n << " times";
-    }
-    for (const GroupRun& g : groups_)
+    for (const GroupRun& g : groups_) {
+      const auto it = storage_count.find(&g);
+      const std::size_t n = it == storage_count.end() ? 0 : it->second;
+      if (n > 0)
+        HARMONY_VALIDATE(v, n == 1)
+            << check::group(g.id) << "active-groups cache lists a group " << n << " times";
       if (!g.dissolved)
-        HARMONY_VALIDATE(v, storage_count.contains(&g))
+        HARMONY_VALIDATE(v, n > 0)
             << check::group(g.id) << "live group missing from the active-groups cache";
+    }
   }
 
   // -- pending regroup ------------------------------------------------------
@@ -235,7 +242,7 @@ check::ValidationReport ClusterSim::validate_state() const {
         HARMONY_VALIDATE(v, i < pr.resolved.size() && pr.resolved[i])
             << check::group(pr.targets[i]->id)
             << "materialized target group not marked resolved (plan " << i << ")";
-    for (const auto& [id, plan] : pr.job_plan)
+    for (const auto& [id, plan] : common::sorted_view(pr.job_plan))
       HARMONY_VALIDATE(v, plan < plans)
           << check::job(id) << "pending plan index " << plan << " out of range";
     HARMONY_VALIDATE(v, pr.reserved_machines() <= config_.machines)

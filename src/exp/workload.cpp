@@ -10,14 +10,14 @@ namespace harmony::exp {
 namespace {
 
 struct AppFamily {
-  const char* app;
-  const char* datasets[2];
-  double input_gb[2];
-  double model_gb[2];
+  const char* app = nullptr;
+  const char* datasets[2] = {nullptr, nullptr};
+  double input_gb[2] = {0.0, 0.0};
+  double model_gb[2] = {0.0, 0.0};
   // Ranges at the reference DoP 16: iteration time [lo, hi] seconds and
   // computation ratio [lo, hi]. Hyper-parameter settings sweep these bands.
-  double itr_lo, itr_hi;
-  double ratio_lo, ratio_hi;
+  double itr_lo = 0.0, itr_hi = 0.0;
+  double ratio_lo = 0.0, ratio_hi = 0.0;
 };
 
 // Table I, with per-family compute/communication character:

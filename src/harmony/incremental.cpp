@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/sorted_view.h"
+
 namespace harmony::core {
 
 namespace {
@@ -397,7 +399,7 @@ void IncrementalScheduler::validate(check::Validation& v) const {
   HARMONY_VALIDATE(v, jobs == total_jobs_ && jobs == job_group_.size())
       << "job accounting: " << jobs << " members, " << total_jobs_ << " counted, "
       << job_group_.size() << " indexed";
-  for (const auto& [id, count] : seen) {
+  for (const auto& [id, count] : common::sorted_view(seen)) {
     HARMONY_VALIDATE(v, count == 1)
         << check::job(id) << "job appears in " << count << " member lists";
   }

@@ -359,8 +359,8 @@ void allocate_core(std::span<const SchedJob> jobs, std::size_t g_count, std::siz
   s.next_abs.resize(g_count);
   s.gain.resize(g_count);
   struct Entry {
-    double gain;
-    std::size_t group;
+    double gain = 0.0;
+    std::size_t group = 0;
     bool operator<(const Entry& o) const noexcept {
       if (gain != o.gain) return gain < o.gain;
       return group > o.group;

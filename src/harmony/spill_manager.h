@@ -55,8 +55,8 @@ class BlockManager {
   friend void validate_block_manager(const BlockManager&, check::Validation&);
 
   struct Block {
-    double bytes;
-    bool on_disk;
+    double bytes = 0.0;
+    bool on_disk = false;
   };
   std::vector<Block> blocks_;
 };

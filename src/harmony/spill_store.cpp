@@ -18,6 +18,7 @@ DiskSpillStore::~DiskSpillStore() {
   // destructor must be externally quiesced — it keeps the analysis airtight.
   std::error_code ec;
   common::MutexLock lock(mu_);
+  // detlint: sorted-iteration(teardown only removes files; deletion order is unobservable)
   for (const auto& [key, size] : sizes_) std::filesystem::remove(path_for(key), ec);
 }
 
@@ -117,6 +118,7 @@ void DiskSpillStore::remove_job(JobId job) {
   std::vector<Key> dropped;
   {
     common::MutexLock lock(mu_);
+    // detlint: sorted-iteration(erase-walk; dropped blocks only feed file removal, order unobservable)
     for (auto it = sizes_.begin(); it != sizes_.end();) {
       if (it->first.job == job) {
         bytes_on_disk_ -= it->second;

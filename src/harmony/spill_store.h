@@ -58,9 +58,13 @@ class DiskSpillStore {
   friend void validate_spill_store(const DiskSpillStore&, check::Validation&);
 
   struct Key {
-    JobId job;
-    std::size_t block;
+    JobId job = 0;
+    std::size_t block = 0;
     bool operator==(const Key&) const = default;
+    // Deterministic ledger-walk order for validators (common::sorted_view).
+    bool operator<(const Key& o) const noexcept {
+      return job != o.job ? job < o.job : block < o.block;
+    }
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/sorted_view.h"
+
 namespace harmony::core {
 
 void validate_decision(const ScheduleDecision& decision, std::span<const SchedJob> pool,
@@ -85,7 +87,7 @@ void validate_block_manager(const BlockManager& blocks, check::Validation& v) {
 void validate_spill_store(const DiskSpillStore& store, check::Validation& v) {
   common::MutexLock lock(store.mu_);
   std::uint64_t ledger_sum = 0;
-  for (const auto& [key, payload] : store.sizes_) {
+  for (const auto& [key, payload] : common::sorted_view(store.sizes_)) {
     ledger_sum += payload;
     const auto path = store.path_for(key);
     std::error_code ec;

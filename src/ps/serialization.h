@@ -37,6 +37,7 @@ class ByteWriter {
 
  private:
   void put_raw(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty payloads may hand over a null data()
     const auto* p = static_cast<const std::byte*>(data);
     buffer_.insert(buffer_.end(), p, p + n);
   }
@@ -56,7 +57,9 @@ class ByteReader {
     const std::uint64_t n = get_u64();
     check(n * sizeof(double));
     std::vector<double> out(n);
-    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
+    // n == 0 skips the copy: an empty span's data() is null, and memcpy's
+    // pointers are declared nonnull even for zero sizes.
+    if (n != 0) std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
     return out;
   }
@@ -67,7 +70,7 @@ class ByteReader {
     const std::uint64_t n = get_u64();
     if (n != out.size()) throw std::runtime_error("ByteReader: size mismatch");
     check(n * sizeof(double));
-    std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
+    if (n != 0) std::memcpy(out.data(), data_.data() + pos_, n * sizeof(double));
     pos_ += n * sizeof(double);
   }
 

@@ -35,8 +35,8 @@ class EventArena {
   static constexpr std::size_t kSlabSlots = 1024;
 
   struct Handle {
-    std::uint32_t slot;
-    std::uint32_t gen;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
 
   EventArena() = default;
@@ -104,9 +104,9 @@ class EventArena {
   void fire_and_release(std::uint32_t slot) {
     Slot& s = slot_at(slot);
     struct Release {
-      EventArena* arena;
-      Slot* slot;
-      std::uint32_t idx;
+      EventArena* arena = nullptr;
+      Slot* slot = nullptr;
+      std::uint32_t idx = 0;
       ~Release() {
         slot->destroy(slot->payload);
         slot->state = Slot::kFree;

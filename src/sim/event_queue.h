@@ -31,10 +31,10 @@
 namespace harmony::sim {
 
 struct EventNode {
-  double time;
-  std::uint64_t seq;
-  std::uint32_t slot;
-  std::uint32_t gen;
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
 };
 
 // Strict total pop order: earliest time first, then scheduling order.

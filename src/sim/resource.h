@@ -20,8 +20,8 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 
+#include "common/sorted_view.h"
 #include "sim/simulator.h"
 #include "sim/small_fn.h"
 
@@ -56,8 +56,8 @@ class FifoResource {
 
  private:
   struct Pending {
-    TaskId id;
-    double duration;
+    TaskId id = 0;
+    double duration = 0.0;
     DoneFn on_done;
   };
 
@@ -96,7 +96,7 @@ class SharedResource {
 
  private:
   struct Task {
-    double remaining;
+    double remaining = 0.0;
     DoneFn on_done;
   };
 
@@ -110,7 +110,10 @@ class SharedResource {
   double capacity_;
   double interference_;
 
-  std::unordered_map<TaskId, Task> tasks_;
+  // Ordered by TaskId (= submission order) so the settle loop's float
+  // accumulation and the completion callbacks fire in a deterministic order
+  // regardless of hash-table bucket layout.
+  common::ordered_map<TaskId, Task> tasks_;
   TaskId next_id_ = 1;
 
   double last_settle_ = 0.0;

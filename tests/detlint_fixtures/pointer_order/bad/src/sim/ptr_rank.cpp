@@ -1,0 +1,26 @@
+// Fixture: pointer-order (bad). Address-ordered containers and comparators:
+// the order is allocator/ASLR order, different every run.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+class Ranker {
+ public:
+  void rank(std::vector<Node*>& nodes) {
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node* a, const Node* b) { return a < b; });
+  }
+
+ private:
+  std::set<Node*> live_;                // keyed on addresses
+  std::map<const Node*, int> weights_;  // keyed on addresses
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: pointer-order (good). Stable-id ordering; pointer hashing is fine
+// for membership tests that never iterate.
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct ById {
+  bool operator()(const Node* a, const Node* b) const { return a->id < b->id; }
+};
+
+class Ranker {
+ public:
+  void rank(std::vector<Node*>& nodes) {
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node* a, const Node* b) { return a->id < b->id; });
+  }
+
+  bool alive(const Node* n) const { return seen_.contains(n); }
+
+ private:
+  std::set<Node*, ById> live_;            // custom comparator: stable order
+  std::unordered_set<const Node*> seen_;  // membership only, never iterated
+};
+
+}  // namespace fixture

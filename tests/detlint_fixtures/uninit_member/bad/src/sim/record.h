@@ -1,0 +1,22 @@
+// Fixture: uninit-member (bad). Scalar members with no NSDMI and no
+// constructor coverage — reads of indeterminate values waiting to happen.
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+
+struct Sample {
+  double value;       // no NSDMI, no constructor
+  std::uint32_t tag;  // no NSDMI, no constructor
+};
+
+class Counter {
+ public:
+  Counter() : hits_(0) {}
+
+ private:
+  int hits_;
+  int misses_;  // initialized in no constructor
+};
+
+}  // namespace fixture

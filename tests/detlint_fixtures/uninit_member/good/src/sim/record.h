@@ -1,0 +1,30 @@
+// Fixture: uninit-member (good). NSDMI, every-constructor mem-init
+// (delegation counts), non-scalar members, and a justified escape.
+#pragma once
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Sample {
+  double value = 0.0;
+  std::uint32_t tag = 0;
+  std::string label;  // non-scalar: default construction is defined
+};
+
+class Counter {
+ public:
+  Counter() : hits_(0), misses_(0) {}
+  explicit Counter(int h) : Counter() { hits_ = h; }
+
+ private:
+  int hits_;
+  int misses_;
+};
+
+struct Raw {
+  // detlint: uninit-member(fixture: owner memsets the whole block before use)
+  int scratch;
+};
+
+}  // namespace fixture

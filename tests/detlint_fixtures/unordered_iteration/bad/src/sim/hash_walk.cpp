@@ -1,0 +1,34 @@
+// Fixture: unordered-iteration (bad). Loops over hash containers whose
+// bodies escape values — results depend on bucket order.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [id, v] : counts_) sum += v;  // accumulates in hash order
+    return sum;
+  }
+
+  std::vector<int> dump() const {
+    std::vector<int> out;
+    for (int id : ids_) out.push_back(id);  // appends in hash order
+    return out;
+  }
+
+  std::size_t count_even() const {
+    std::size_t even = 0;
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) even += it->first % 2;
+    return even;
+  }
+
+ private:
+  std::unordered_map<int, double> counts_;
+  std::unordered_set<int> ids_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: unordered-iteration (good). The sanctioned shapes: in-place
+// element mutation, a sorted view, and a justified escape.
+#include <unordered_map>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  void rescale(double f) {
+    for (auto& [id, v] : counts_) v *= f;  // mutates the current element only
+  }
+
+  double sorted_total() const {
+    double sum = 0.0;
+    for (const auto& [id, v] : common::sorted_view(counts_)) sum += v;
+    return sum;
+  }
+
+  double escaped_total() const {
+    double sum = 0.0;
+    // detlint: sorted-iteration(fixture: sum of integers is order-insensitive)
+    for (const auto& [id, v] : counts_) sum += v;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, double> counts_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: unseeded-random (bad). Ambient randomness inside deterministic
+// code: rand(), random_device, an unseeded engine, and hash-based branching.
+#include <cstdlib>
+#include <random>
+#include <string>
+
+namespace fixture {
+
+int roll() {
+  return rand() % 6;
+}
+
+double sample() {
+  std::random_device dev;
+  std::mt19937 gen;
+  return static_cast<double>(gen() + dev());
+}
+
+bool route(const std::string& key) {
+  return std::hash<std::string>{}(key) % 2 == 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: unseeded-random (good). Explicitly seeded engines — directly, via
+// every constructor's init list — and a justified escape.
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  double uniform() { return static_cast<double>(engine_()) / 4294967296.0; }
+
+ private:
+  std::mt19937_64 engine_;  // seeded in every constructor
+};
+
+double directly_seeded() {
+  std::mt19937 gen(42);
+  return static_cast<double>(gen());
+}
+
+double escaped() {
+  // detlint: seeded-random(fixture: seed is injected by the caller upstream)
+  std::mt19937 gen;
+  return static_cast<double>(gen());
+}
+
+}  // namespace fixture

@@ -177,6 +177,34 @@ class LintSelfTest(unittest.TestCase):
             {"src/harmony/pick.cpp": "int r = rand();\n"},
             "nondeterminism", "common::Rng")
 
+    # --- detlint-escape -----------------------------------------------------
+
+    def test_detlint_escape_empty_reason_flagged(self):
+        self.assert_finding(
+            {"src/sim/walk.cpp": "// detlint: sorted-iteration()\nint x = 0;\n"},
+            "detlint-escape", "non-empty")
+
+    def test_detlint_escape_bare_name_flagged(self):
+        self.assert_finding(
+            {"src/harmony/walk.cpp": "// detlint: seeded-random\nint x = 0;\n"},
+            "detlint-escape", "non-empty")
+
+    def test_detlint_escape_unknown_name_flagged(self):
+        self.assert_finding(
+            {"src/sim/walk.cpp":
+             "// detlint: hash-walk(reads are commutative)\nint x = 0;\n"},
+            "detlint-escape", "unknown detlint escape 'hash-walk'")
+
+    def test_detlint_escape_with_reason_passes(self):
+        self.assert_clean(
+            {"src/sim/walk.cpp":
+             "// detlint: sorted-iteration(sum of integers is order-insensitive)\n"
+             "int x = 0;\n"})
+
+    def test_detlint_escape_ignored_outside_deterministic_dirs(self):
+        self.assert_clean(
+            {"tests/fixture.cpp": "// detlint: bogus-name()\nint x = 0;\n"})
+
     # --- pre-existing rules still wired -----------------------------------
 
     def test_naked_new_banned(self):

@@ -320,6 +320,33 @@ TEST(SharedResource, WorkCompletedAccounting) {
   EXPECT_NEAR(r.busy_time(), 4.0, 1e-9);  // work-conserving
 }
 
+TEST(SharedResource, CompletionOrderSurvivesInsertionHistoryPerturbation) {
+  // Thirteen equal tasks all finish in the same settle, so the callback
+  // firing order is exactly the task-ledger iteration order. Run the batch
+  // once on a fresh resource and once after a churn phase that forces
+  // erases/rehashes in the ledger first: a hash-ordered ledger diverges
+  // under that perturbation, the ordered ledger must stay byte-identical
+  // to submission order.
+  auto run = [](bool churn) {
+    Simulator sim;
+    SharedResource r(sim, "cpu", 1.0);
+    if (churn)
+      for (int i = 0; i < 7; ++i) r.submit(0.25 * (i + 1), [] {});
+    std::vector<int> order;
+    const double start = churn ? 100.0 : 0.0;
+    sim.schedule_at(start, [&] {
+      for (int i = 0; i < 13; ++i)
+        r.submit(5.0, [&order, i] { order.push_back(i); });
+    });
+    sim.run();
+    return order;
+  };
+  const std::vector<int> fresh = run(false);
+  ASSERT_EQ(fresh.size(), 13u);
+  for (int i = 0; i < 13; ++i) EXPECT_EQ(fresh[i], i);  // submission order
+  EXPECT_EQ(fresh, run(true));
+}
+
 TEST(SharedResource, ZeroWorkCompletesImmediately) {
   Simulator sim;
   SharedResource r(sim, "cpu", 1.0);

@@ -51,6 +51,13 @@ Project rules (always run, no dependencies beyond the stdlib):
                    MetricsRegistry singletons (or their mutators) from
                    analysis code is banned, so running an analysis can never
                    perturb the measurement it analyzes.
+  detlint-escape   Hygiene for tools/detlint.py escape comments: every
+                   `// detlint: <name>(<reason>)` in the deterministic
+                   directories must use a known escape name (the canonical
+                   list lives in tools/detlint.py) and carry a non-empty
+                   reason — a bare or empty escape would not suppress the
+                   detlint finding anyway, so it is flagged here where the
+                   typo is visible. Mirrors the allow-raw-mutex convention.
 
 clang-tidy (best effort): when a compile_commands.json is available (pass
 --build-dir, or let the script probe build*/), and a clang-tidy binary exists,
@@ -101,7 +108,19 @@ ALLOW_STD_FUNCTION = "lint: allow-std-function"
 EVENT_PAYLOAD_DIRS = ("src/sim", "src/exp")
 
 RULE_NAMES = ("nondeterminism", "naked-new", "header-hygiene", "lock-discipline",
-              "layering", "read-only-analysis", "event-payload")
+              "layering", "read-only-analysis", "event-payload", "detlint-escape")
+
+# Canonical escape names come from tools/detlint.py (one per rule family).
+# detlint imports find_compile_commands from this module, so when *this*
+# module loads inside that import, detlint is still mid-initialization and
+# the names may not exist yet — fall back to a synced literal copy.
+try:
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from detlint import ESCAPE_NAMES as DETLINT_ESCAPE_NAMES
+except ImportError:  # pragma: no cover - circular-import fallback
+    DETLINT_ESCAPE_NAMES = ("sorted-iteration", "pointer-order",
+                            "uninit-member", "seeded-random")
+DETLINT_ESCAPE_RE = re.compile(r"//\s*detlint:\s*([A-Za-z0-9_-]+)\s*(?:\(([^)]*)\))?")
 
 NONDET_PATTERNS = [
     (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() is banned; use common::Rng with an explicit seed"),
@@ -239,6 +258,20 @@ def lint_file(root: str, path: str, findings: Findings):
                 in_block_comment = True
                 break
             line = line[:start] + line[end + 2 :]
+
+        # Escape comments are comment-only content, so this rule must run
+        # before the blank-code fast path below skips the line.
+        if in_deterministic:
+            for m in DETLINT_ESCAPE_RE.finditer(line):
+                name, reason = m.group(1), m.group(2)
+                if name not in DETLINT_ESCAPE_NAMES:
+                    findings.add(root, path, line_no, "detlint-escape",
+                                 f"unknown detlint escape '{name}'; known names: "
+                                 + ", ".join(DETLINT_ESCAPE_NAMES))
+                elif reason is None or not reason.strip():
+                    findings.add(root, path, line_no, "detlint-escape",
+                                 f"detlint escape '{name}' must carry a non-empty "
+                                 f"reason: `// detlint: {name}(<why>)`")
 
         code = strip_comments_and_strings(line)
         if not code.strip():
