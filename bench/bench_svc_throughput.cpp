@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "exp/workload.h"
+#include "obs/slo.h"
 #include "svc/service.h"
 
 using namespace harmony;
@@ -50,9 +51,54 @@ void BM_ServiceThroughput(benchmark::State& state) {
                  std::to_string(state.range(1)) + " jobs/s offered");
 }
 
+// Same run with the live-telemetry stack on: one window per 5 sim-minutes (a
+// production-scrape cadence), two SLO monitors evaluated per window, no file
+// sinks. The delta between this row and BM_ServiceThroughput at the same
+// Args is the telemetry overhead, which must stay within the bench_compare
+// regression gate (the sampling path reads pre-resolved series pointers —
+// one atomic load per counter/gauge, one short lock per histogram).
+void BM_ServiceThroughputTelemetry(benchmark::State& state) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const double arrival_rate = static_cast<double>(state.range(1));
+  const auto catalog = exp::make_catalog();
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    svc::ServiceConfig config;
+    config.machines = machines;
+    config.duration_sec = 20000.0;
+    config.mean_interarrival_sec = 1.0 / arrival_rate;
+    config.queue_capacity = 4096;
+    config.seed = 11;
+    config.telemetry_interval_sec = 300.0;
+    obs::SloSpec slo;
+    std::string error;
+    obs::parse_slo("queue-delay-p99=300", slo, error);
+    config.slos.push_back(slo);
+    obs::parse_slo("rejection-rate=0.5", slo, error);
+    config.slos.push_back(slo);
+    svc::Service service(config, catalog);
+    const auto summary = service.run();
+    benchmark::DoNotOptimize(summary.final_score);
+    events += summary.scheduling_events;
+    windows += summary.telemetry_windows;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["windows_per_sec"] =
+      benchmark::Counter(static_cast<double>(windows), benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(machines) + " machines / telemetry on");
+}
+
 }  // namespace
 
 BENCHMARK(BM_ServiceThroughput)
+    ->Args({1000, 2})
+    ->Args({10000, 5})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ServiceThroughputTelemetry)
     ->Args({1000, 2})
     ->Args({10000, 5})
     ->Unit(benchmark::kMillisecond);

@@ -1,6 +1,7 @@
 #include "check/check.h"
 
 #include "common/logging.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace harmony::check {
@@ -32,6 +33,9 @@ CheckError::CheckError(FailureReport report)
 void fail(FailureReport report) {
   obs::MetricsRegistry::instance().counter("check.failures").add();
   HLOG(kError) << report.to_string();
+  // The black box pulls its own handle: if a recorder is armed, the bundle
+  // lands on disk before the exception starts unwinding.
+  obs::FlightRecorder::instance().on_check_failure(report.to_string(), report.validator);
   throw CheckError(std::move(report));
 }
 

@@ -1422,6 +1422,16 @@ void ClusterSim::sample_utilization() {
   static obs::HistogramMetric& queue_depth =
       obs::MetricsRegistry::instance().histogram("sim.event_queue_depth", 0.0, 4096.0, 64);
   queue_depth.observe(static_cast<double>(sim_.pending()));
+  // Live-telemetry level gauges (deterministic: sim state at sim-clock
+  // sampling points), windowed by obs::TimeSeriesEngine alongside the svc.*
+  // series when a telemetry consumer is attached.
+  static obs::Gauge& jobs_running = obs::MetricsRegistry::instance().gauge("sim.jobs_running");
+  static obs::Gauge& groups_live = obs::MetricsRegistry::instance().gauge("sim.groups_live");
+  static obs::Gauge& free_machines =
+      obs::MetricsRegistry::instance().gauge("sim.free_machines");
+  jobs_running.set(static_cast<double>(running_jobs));
+  groups_live.set(static_cast<double>(running_groups));
+  free_machines.set(static_cast<double>(free_machines_));
 
   // Keep sampling while anything is active or still to come.
   if (unfinished_count_ > 0) sim_.schedule_in(window, [this] { sample_utilization(); });

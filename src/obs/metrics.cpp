@@ -73,6 +73,17 @@ double HistogramMetric::percentile(double q) const {
   return max_;
 }
 
+MetricsSnapshot::HistogramState HistogramMetric::state() const {
+  common::MutexLock lock(mu_);
+  MetricsSnapshot::HistogramState s;
+  s.lo = lo_;
+  s.hi = hi_;
+  s.bins = hist_.bins();
+  s.count = count_;
+  s.sum = sum_;
+  return s;
+}
+
 void HistogramMetric::reset() {
   common::MutexLock lock(mu_);
   hist_ = Histogram(lo_, hi_, bins_);
@@ -121,6 +132,102 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  common::MutexLock lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace(name, h->state());
+  return snap;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  common::MutexLock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<std::pair<std::string, const Counter*>> MetricsRegistry::counter_series()
+    const {
+  common::MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gauge_series() const {
+  common::MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const HistogramMetric*>>
+MetricsRegistry::histogram_series() const {
+  common::MutexLock lock(mu_);
+  std::vector<std::pair<std::string, const HistogramMetric*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+MetricsSnapshot delta_snapshot(const MetricsSnapshot& prev, const MetricsSnapshot& cur) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : cur.counters) {
+    const auto it = prev.counters.find(name);
+    // A reset between snapshots makes the counter run backwards; the restart
+    // rule (whole current value is the delta) avoids unsigned wraparound.
+    const std::uint64_t base = (it != prev.counters.end() && it->second <= value)
+                                   ? it->second
+                                   : 0;
+    delta.counters.emplace(name, value - base);
+  }
+  delta.gauges = cur.gauges;  // levels, not flows: latest value wins
+  for (const auto& [name, h] : cur.histograms) {
+    MetricsSnapshot::HistogramState d = h;
+    const auto it = prev.histograms.find(name);
+    if (it != prev.histograms.end() && it->second.count <= h.count &&
+        it->second.bins.size() == h.bins.size()) {
+      d.count = h.count - it->second.count;
+      d.sum = h.sum - it->second.sum;
+      for (std::size_t i = 0; i < d.bins.size(); ++i) {
+        // Per-bin restart rule, same rationale as counters.
+        if (it->second.bins[i] <= h.bins[i]) d.bins[i] = h.bins[i] - it->second.bins[i];
+      }
+    }
+    delta.histograms.emplace(name, std::move(d));
+  }
+  return delta;
+}
+
+double histogram_state_percentile(const MetricsSnapshot::HistogramState& h, double q) {
+  if (h.count == 0 || h.bins.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double width = (h.hi - h.lo) / static_cast<double>(h.bins.size());
+  // Envelope of occupied bins: the tightest bound recoverable from deltas
+  // (raw min/max don't survive subtraction).
+  std::size_t first = 0;
+  while (first < h.bins.size() && h.bins[first] == 0) ++first;
+  std::size_t last = h.bins.size();
+  while (last > first && h.bins[last - 1] == 0) --last;
+  if (first >= last) return 0.0;
+  const double env_lo = h.lo + static_cast<double>(first) * width;
+  const double env_hi = h.lo + static_cast<double>(last) * width;
+  const double target = q * static_cast<double>(h.count);
+  double cumulative = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    const auto c = static_cast<double>(h.bins[i]);
+    if (c > 0.0 && cumulative + c >= target) {
+      const double frac = std::clamp((target - cumulative) / c, 0.0, 1.0);
+      const double bin_lo = h.lo + static_cast<double>(i) * width;
+      return std::clamp(bin_lo + frac * width, env_lo, env_hi);
+    }
+    cumulative += c;
+  }
+  return env_hi;
 }
 
 namespace {

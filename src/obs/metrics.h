@@ -18,11 +18,42 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/sync.h"
 
 namespace harmony::obs {
+
+// Point-in-time copy of every registered metric, cheap to diff. The unit the
+// time-series engine (obs/timeseries.h) works in: two snapshots one window
+// apart yield per-window deltas via delta_snapshot().
+struct MetricsSnapshot {
+  struct HistogramState {
+    double lo = 0.0;  // first bin's lower edge
+    double hi = 0.0;  // last bin's upper edge
+    std::vector<std::uint64_t> bins;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramState> histograms;
+};
+
+// Per-window view of `cur` relative to `prev`: counter values and histogram
+// bins/count/sum become deltas (cur - prev); gauges keep their latest value
+// (a gauge is a level, not a flow). A counter or histogram whose current
+// value ran *backwards* (a reset() between the snapshots) is treated as
+// restarted: the whole current value is the window's delta, never a huge
+// unsigned wraparound. Metrics absent from `prev` (registered mid-window)
+// contribute their full current state; metrics absent from `cur` are dropped.
+MetricsSnapshot delta_snapshot(const MetricsSnapshot& prev, const MetricsSnapshot& cur);
+
+// Quantile over a (possibly delta) histogram state, q in [0, 1]: linear
+// interpolation within the covering bin, clamped to the envelope of occupied
+// bins (raw min/max are not recoverable from bin deltas). 0 when empty.
+double histogram_state_percentile(const MetricsSnapshot::HistogramState& h, double q);
 
 class Counter {
  public:
@@ -62,6 +93,8 @@ class HistogramMetric {
   // the observed [min, max] envelope, which also makes the edge bins exact
   // when out-of-range samples were clamped into them. Returns 0 when empty.
   double percentile(double q) const;
+  // Bins + count/sum under one lock acquisition, for consistent snapshots.
+  MetricsSnapshot::HistogramState state() const;
   void reset();
 
  private:
@@ -94,6 +127,24 @@ class MetricsRegistry {
 
   // Zeroes every registered metric (registrations survive).
   void reset();
+
+  // Consistent-ish point-in-time copy of every metric (each metric is read
+  // atomically; the set is read under the registry lock).
+  MetricsSnapshot snapshot() const;
+
+  // Number of registered series across all kinds — a cheap staleness check
+  // for cached series views (registrations are never removed).
+  std::size_t series_count() const;
+
+  // Sorted (name, metric) views over the registered series. The metric
+  // pointers stay valid for the registry's lifetime; the *set* is a snapshot
+  // — recheck series_count() to detect registrations made since. These are
+  // what the time-series engine resolves its allow-list against once, so the
+  // per-window sampling path reads metrics directly instead of copying the
+  // whole registry.
+  std::vector<std::pair<std::string, const Counter*>> counter_series() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauge_series() const;
+  std::vector<std::pair<std::string, const HistogramMetric*>> histogram_series() const;
 
   // {"counters": {...}, "gauges": {...}, "histograms": {...}}, keys sorted.
   std::string snapshot_json() const;

@@ -1,0 +1,181 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace harmony::obs {
+
+const char* to_string(SloKind kind) noexcept {
+  switch (kind) {
+    case SloKind::kQueueDelayP99:
+      return "queue-delay-p99";
+    case SloKind::kRejectionRate:
+      return "rejection-rate";
+    case SloKind::kDriftEscalationRate:
+      return "drift-escalation-rate";
+    case SloKind::kSchedThroughputFloor:
+      return "sched-throughput-floor";
+  }
+  return "?";
+}
+
+const char* to_string(AlertState state) noexcept {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "?";
+}
+
+bool parse_slo(const std::string& arg, SloSpec& spec, std::string& error) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+    error = "expected NAME=THRESHOLD, got '" + arg + "'";
+    return false;
+  }
+  const std::string name = arg.substr(0, eq);
+  const std::string value = arg.substr(eq + 1);
+
+  SloSpec out;
+  out.name = name;
+  if (name == "queue-delay-p99") {
+    out.kind = SloKind::kQueueDelayP99;
+  } else if (name == "rejection-rate") {
+    out.kind = SloKind::kRejectionRate;
+  } else if (name == "drift-escalation-rate") {
+    out.kind = SloKind::kDriftEscalationRate;
+  } else if (name == "sched-throughput-floor") {
+    out.kind = SloKind::kSchedThroughputFloor;
+    out.lower_bound = true;
+  } else {
+    error = "unknown SLO '" + name +
+            "' (known: queue-delay-p99, rejection-rate, drift-escalation-rate, "
+            "sched-throughput-floor)";
+    return false;
+  }
+
+  char* end = nullptr;
+  out.threshold = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    error = "bad SLO threshold '" + value + "' for " + name;
+    return false;
+  }
+  spec = std::move(out);
+  return true;
+}
+
+double SloMonitor::window_value(const SloSpec& spec, const TelemetryWindow& w) {
+  switch (spec.kind) {
+    case SloKind::kQueueDelayP99: {
+      const auto it = w.histograms.find("svc.queue_delay_sec");
+      return it == w.histograms.end() ? 0.0 : it->second.p99;
+    }
+    case SloKind::kRejectionRate: {
+      const auto arrivals = w.counter_deltas.find("svc.arrivals");
+      const auto rejected = w.counter_deltas.find("svc.rejected");
+      const double a =
+          arrivals == w.counter_deltas.end() ? 0.0 : static_cast<double>(arrivals->second);
+      const double r =
+          rejected == w.counter_deltas.end() ? 0.0 : static_cast<double>(rejected->second);
+      return a <= 0.0 ? 0.0 : r / a;
+    }
+    case SloKind::kDriftEscalationRate:
+      return w.rate("svc.full_reschedules") * 3600.0;  // per sim-hour
+    case SloKind::kSchedThroughputFloor:
+      return w.rate("svc.scheduling_events");
+  }
+  return 0.0;
+}
+
+SloMonitor::SloMonitor(SloSpec spec) : spec_(std::move(spec)) {}
+
+double SloMonitor::breach_fraction(std::size_t last_n) const {
+  if (last_n == 0) return 0.0;
+  const std::size_t n = std::min(last_n, breaches_.size());
+  if (n == 0) return 0.0;
+  std::size_t breached = 0;
+  for (std::size_t i = breaches_.size() - n; i < breaches_.size(); ++i)
+    if (breaches_[i]) ++breached;
+  // Fraction over the nominal window, not the observed one: with only 1 of
+  // 12 slow windows seen so far, one breach is 1/12 of the budget, not 1/1.
+  return static_cast<double>(breached) / static_cast<double>(last_n);
+}
+
+void SloMonitor::transition(AlertState to, const TelemetryWindow& w) {
+  AlertTransition t;
+  t.window = w.index;
+  t.time_sec = w.end_sec;
+  t.from = state_;
+  t.to = to;
+  transitions_.push_back(t);
+  state_ = to;
+}
+
+bool SloMonitor::evaluate(const TelemetryWindow& w) {
+  last_value_ = window_value(spec_, w);
+  const bool breached =
+      spec_.lower_bound ? last_value_ < spec_.threshold : last_value_ > spec_.threshold;
+  breaches_.push_back(breached);
+  while (breaches_.size() > std::max(spec_.slow_windows, spec_.fast_windows))
+    breaches_.pop_front();
+
+  const bool burning = breach_fraction(spec_.fast_windows) >= spec_.fast_burn &&
+                       breach_fraction(spec_.slow_windows) >= spec_.slow_burn;
+
+  const AlertState before = state_;
+  switch (state_) {
+    case AlertState::kInactive:
+    case AlertState::kResolved:
+      if (burning) {
+        burn_streak_ = 1;
+        transition(AlertState::kPending, w);
+        if (burn_streak_ >= spec_.pending_windows) {
+          transition(AlertState::kFiring, w);
+          ++pages_;
+        }
+      }
+      break;
+    case AlertState::kPending:
+      if (burning) {
+        if (++burn_streak_ >= spec_.pending_windows) {
+          transition(AlertState::kFiring, w);
+          ++pages_;
+        }
+      } else {
+        // The burn didn't confirm: fall back to the last stable state.
+        burn_streak_ = 0;
+        transition(pages_ > 0 ? AlertState::kResolved : AlertState::kInactive, w);
+      }
+      break;
+    case AlertState::kFiring:
+      if (!burning) {
+        burn_streak_ = 0;
+        transition(AlertState::kResolved, w);
+      }
+      break;
+  }
+  return state_ != before;
+}
+
+std::string SloMonitor::state_json() const {
+  char value[48];
+  std::snprintf(value, sizeof(value), "%.17g", last_value_);
+  std::string out = "{\"name\":\"" + spec_.name + "\",\"state\":\"";
+  out += to_string(state_);
+  out += "\",\"value\":";
+  out += value;
+  out += ",\"breached\":";
+  out += last_breached() ? '1' : '0';
+  out += '}';
+  return out;
+}
+
+}  // namespace harmony::obs

@@ -42,6 +42,16 @@ const char* to_string(EventKind kind) noexcept {
       return "oom";
     case EventKind::kPrediction:
       return "prediction";
+    case EventKind::kArrival:
+      return "arrival";
+    case EventKind::kAdmit:
+      return "admit";
+    case EventKind::kReject:
+      return "reject";
+    case EventKind::kDepart:
+      return "depart";
+    case EventKind::kSloAlert:
+      return "slo_alert";
   }
   return "?";
 }
@@ -52,7 +62,8 @@ bool kind_from_string(std::string_view name, EventKind& kind) noexcept {
       EventKind::kIteration,   EventKind::kReload,        EventKind::kCheckpoint,
       EventKind::kSchedule,    EventKind::kRegroup,       EventKind::kSpill,
       EventKind::kGroupCreate, EventKind::kGroupDissolve, EventKind::kOom,
-      EventKind::kPrediction,
+      EventKind::kPrediction,  EventKind::kArrival,       EventKind::kAdmit,
+      EventKind::kReject,      EventKind::kDepart,        EventKind::kSloAlert,
   };
   for (EventKind k : kAll) {
     if (name == to_string(k)) {
@@ -252,9 +263,7 @@ void append_args(std::string& out, const TraceEvent& e) {
 
 }  // namespace
 
-void Tracer::write_chrome_trace(std::ostream& out) const {
-  const std::vector<TraceEvent> events = snapshot();
-
+void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& out) {
   // Name every process and track we are about to reference.
   std::map<std::int64_t, std::string> processes;
   std::map<std::pair<std::int64_t, std::int64_t>, std::string> tracks;
@@ -308,6 +317,10 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     emit();
   }
   out << "\n]}\n";
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  harmony::obs::write_chrome_trace(snapshot(), out);
 }
 
 bool Tracer::write_chrome_trace_file(const std::string& path) const {

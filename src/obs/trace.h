@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t {
   kPrediction,     // scheduler perf-model prediction for a group (instant;
                    // value = predicted T_itr in us, bytes = 1 if the model
                    // says CPU-bound, 0 if network-bound)
+  kArrival,        // service mode: a job arrived (instant)
+  kAdmit,          // service mode: a job was admitted and placed (instant)
+  kReject,         // service mode: admission control shed a job (instant)
+  kDepart,         // service mode: a job completed and left (instant)
+  kSloAlert,       // an SLO alert transition (instant; value = new AlertState)
 };
 
 const char* to_string(EventKind kind) noexcept;
@@ -73,6 +78,12 @@ struct TraceEvent {
   std::uint64_t bytes = 0;            // payload size where meaningful
   double value = 0.0;                 // kind-specific scalar (kPrediction: T_itr us)
 };
+
+// Writes an arbitrary event list as Chrome trace-event JSON with process and
+// track metadata — same format as Tracer::write_chrome_trace, usable by
+// holders of their own event buffers (the flight recorder's crash ring).
+// Events should be pre-sorted by (clock domain, start time).
+void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& out);
 
 class Tracer {
  public:

@@ -4,8 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
+#include "common/logging.h"
 #include "harmony/validate.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace harmony::svc {
@@ -29,12 +32,16 @@ struct SvcMetrics {
   obs::Counter& joins;
   obs::Counter& leaves;
   obs::Counter& full_reschedules;
+  obs::Counter& scheduling_events;
+  obs::Counter& telemetry_ticks;
   obs::HistogramMetric& queue_delay_sec;
   obs::HistogramMetric& jct_sec;
   obs::HistogramMetric& decision_latency_us;
   obs::Gauge& queue_depth;
   obs::Gauge& running_jobs;
   obs::Gauge& free_machines;
+  obs::Gauge& drift;
+  obs::Gauge& live_groups;
 
   static SvcMetrics& instance() {
     auto& reg = obs::MetricsRegistry::instance();
@@ -45,12 +52,16 @@ struct SvcMetrics {
                         reg.counter("svc.joins"),
                         reg.counter("svc.leaves"),
                         reg.counter("svc.full_reschedules"),
+                        reg.counter("svc.scheduling_events"),
+                        reg.counter("svc.telemetry_ticks"),
                         reg.histogram("svc.queue_delay_sec", 0.0, 3600.0, 72),
                         reg.histogram("svc.jct_sec", 0.0, 86400.0, 96),
                         reg.histogram("svc.decision_latency_us", 0.0, 1000.0, 100),
                         reg.gauge("svc.queue_depth"),
                         reg.gauge("svc.running_jobs"),
-                        reg.gauge("svc.free_machines")};
+                        reg.gauge("svc.free_machines"),
+                        reg.gauge("svc.drift"),
+                        reg.gauge("svc.live_groups")};
     return m;
   }
 };
@@ -78,7 +89,29 @@ Service::Service(ServiceConfig config, std::vector<exp::WorkloadSpec> catalog)
       << " (the bound includes one threshold's worth of tolerated decay)";
   stream_ = exp::make_arrival_stream(config_.arrival_kind, config_.mean_interarrival_sec,
                                      rng_.next_u64());
+
+  if (config_.telemetry_interval_sec > 0.0) {
+    obs::TimeSeriesConfig tc;
+    tc.interval_sec = config_.telemetry_interval_sec;
+    tc.capacity = config_.telemetry_capacity;
+    // Only the deterministic service series: scheduler.* is perturbed by the
+    // pure-observer validators (their equivalence repack is instrumented) and
+    // svc.decision_latency_us is wall-fed — sampling either would break the
+    // byte-identical-across-validate contract.
+    tc.include_prefixes = {"svc."};
+    tc.exclude = {"svc.decision_latency_us"};
+    telemetry_ = std::make_unique<obs::TimeSeriesEngine>(std::move(tc),
+                                                         obs::MetricsRegistry::instance());
+    slo_monitors_.reserve(config_.slos.size());
+    for (const obs::SloSpec& spec : config_.slos) slo_monitors_.emplace_back(spec);
+  } else {
+    HARMONY_CHECK(config_.slos.empty() && config_.telemetry_out.empty() &&
+                  config_.prom_out.empty())
+        << "telemetry sinks/SLOs need telemetry_interval_sec > 0";
+  }
 }
+
+Service::~Service() = default;
 
 PendingJob Service::make_pending(core::JobId id) {
   const exp::WorkloadSpec& spec = catalog_[id % catalog_.size()];
@@ -103,7 +136,82 @@ PendingJob Service::make_pending(core::JobId id) {
 
 void Service::count_scheduling_event() {
   ++summary_.scheduling_events;
+  SvcMetrics::instance().scheduling_events.add();
   maybe_validate();
+}
+
+void Service::flight_instant(obs::EventKind kind, core::JobId id) {
+  auto& recorder = obs::FlightRecorder::instance();
+  if (!recorder.armed()) return;
+  obs::TraceEvent e;
+  e.ts_us = sim_.now() * 1e6;
+  e.kind = kind;
+  e.phase = obs::Phase::kInstant;
+  e.clock = obs::ClockDomain::kSim;
+  if (id != core::kNoJob) e.job = static_cast<std::uint32_t>(id);
+  recorder.append(e);
+}
+
+void Service::telemetry_tick() {
+  auto& metrics = SvcMetrics::instance();
+  metrics.telemetry_ticks.add();
+  // Refresh the level gauges so every window reflects current state even when
+  // no scheduling event updated them inside the window.
+  metrics.queue_depth.set(static_cast<double>(queue_.size()));
+  metrics.running_jobs.set(static_cast<double>(running_));
+  metrics.free_machines.set(static_cast<double>(placement_.free_machines()));
+  metrics.drift.set(placement_.drift());
+  metrics.live_groups.set(static_cast<double>(placement_.live_group_count()));
+
+  const obs::TelemetryWindow& w = telemetry_->sample(sim_.now());
+  last_sample_sec_ = sim_.now();
+  ++summary_.telemetry_windows;
+
+  std::string extra;
+  if (!slo_monitors_.empty()) {
+    extra = ",\"slos\":[";
+    bool first = true;
+    for (obs::SloMonitor& monitor : slo_monitors_) {
+      if (monitor.evaluate(w)) {
+        auto& recorder = obs::FlightRecorder::instance();
+        if (recorder.armed()) {
+          obs::TraceEvent e;
+          e.ts_us = sim_.now() * 1e6;
+          e.kind = obs::EventKind::kSloAlert;
+          e.phase = obs::Phase::kInstant;
+          e.clock = obs::ClockDomain::kSim;
+          e.value = static_cast<double>(static_cast<std::uint8_t>(monitor.state()));
+          recorder.append(e);
+        }
+        if (monitor.state() == obs::AlertState::kFiring) {
+          ++summary_.slo_pages;
+          // A page pulls the black-box handle. The bundled metrics snapshot
+          // is the previous window's (this one is still being rendered).
+          recorder.dump("slo-page:" + monitor.spec().name, monitor.state_json());
+        }
+      }
+      if (!first) extra += ',';
+      first = false;
+      extra += monitor.state_json();
+    }
+    extra += ']';
+  }
+
+  const std::string line = obs::TimeSeriesEngine::to_jsonl(w, extra);
+  telemetry_jsonl_ += line;
+  telemetry_jsonl_ += '\n';
+  if (telemetry_file_) *telemetry_file_ << line << '\n';
+  obs::FlightRecorder::instance().note_metrics_json(line);
+
+  // Cadence ticks stop at the arrival horizon. The post-horizon drain can
+  // run for a long, workload-dependent tail of sim time with nothing
+  // happening but departures; ticking through it at full cadence would bury
+  // the telemetry in thousands of idle windows (and dominate the service's
+  // wall cost). run() closes the whole tail in one final window instead.
+  next_tick_sec_ += config_.telemetry_interval_sec;
+  if (next_tick_sec_ <= config_.duration_sec) {
+    sim_.schedule_at(next_tick_sec_, [this] { telemetry_tick(); });
+  }
 }
 
 void Service::maybe_validate() {
@@ -172,6 +280,7 @@ void Service::on_departure(core::JobId id, double arrival_time) {
   --running_;
   ++summary_.completed;
   metrics.completed.add();
+  flight_instant(obs::EventKind::kDepart, id);
   const double jct = sim_.now() - arrival_time;
   jcts_.add(jct);
   metrics.jct_sec.observe(jct);
@@ -221,6 +330,7 @@ void Service::full_reschedule() {
 
   ++summary_.full_reschedules;
   SvcMetrics::instance().full_reschedules.add();
+  flight_instant(obs::EventKind::kSchedule, core::kNoJob);
   events_at_last_full_ = summary_.scheduling_events;
   count_scheduling_event();
 }
@@ -232,22 +342,27 @@ void Service::on_arrival() {
   HARMONY_CHECK(next_id_ < core::kNoJob) << "service job ids exhausted";
   PendingJob p = make_pending(static_cast<core::JobId>(next_id_++));
   p.arrival_time = sim_.now();
+  flight_instant(obs::EventKind::kArrival, p.job.id);
 
   // Queue-ahead fairness: an arrival only bypasses the queue when nothing is
   // waiting; otherwise it lines up and the drain order is the policy's call.
   bool settled = false;
+  const core::JobId arrived_id = p.job.id;
   if (queue_.empty() && try_place(p)) {
     ++summary_.admitted;
     metrics.admitted.add();
+    flight_instant(obs::EventKind::kAdmit, arrived_id);
     settled = true;
   }
   if (!settled) {
     if (queue_.offer(std::move(p))) {
       ++summary_.admitted;
       metrics.admitted.add();
+      flight_instant(obs::EventKind::kAdmit, arrived_id);
     } else {
       ++summary_.rejected;
       metrics.rejected.add();
+      flight_instant(obs::EventKind::kReject, arrived_id);
       count_scheduling_event();  // a shed is a scheduling decision too
     }
   }
@@ -264,6 +379,25 @@ ServiceSummary Service::run() {
   HARMONY_CHECK(!ran_) << "Service::run is single-shot";
   ran_ = true;
 
+  if (telemetry_) {
+    if (!config_.telemetry_out.empty()) {
+      telemetry_file_ = std::make_unique<std::ofstream>(config_.telemetry_out);
+      if (!*telemetry_file_) {
+        HLOG(kError) << "service: cannot open telemetry sink " << config_.telemetry_out;
+        telemetry_file_.reset();
+      }
+    }
+    auto& recorder = obs::FlightRecorder::instance();
+    if (recorder.armed()) {
+      recorder.set_context("mode", "service");
+      recorder.set_context("seed", std::to_string(config_.seed));
+      recorder.set_context("machines", std::to_string(config_.machines));
+      recorder.set_context("duration_sec", std::to_string(config_.duration_sec));
+    }
+    next_tick_sec_ = config_.telemetry_interval_sec;
+    sim_.schedule_at(next_tick_sec_, [this] { telemetry_tick(); });
+  }
+
   const auto wall0 = WallClock::now();
   const double first = stream_->next();
   if (first <= config_.duration_sec) {
@@ -271,6 +405,35 @@ ServiceSummary Service::run() {
   }
   sim_.run();
   summary_.wall_seconds = wall_seconds_since(wall0);
+
+  if (telemetry_) {
+    // One final window covering the drain tail past the arrival horizon
+    // (skipped when the run ended exactly on a cadence tick).
+    if (sim_.now() > last_sample_sec_) telemetry_tick();
+    if (telemetry_file_) {
+      telemetry_file_->flush();
+      if (!*telemetry_file_) {
+        HLOG(kError) << "service: telemetry sink " << config_.telemetry_out << " failed";
+      }
+      telemetry_file_.reset();
+    }
+    if (!config_.prom_out.empty()) {
+      std::ofstream prom(config_.prom_out);
+      if (prom) {
+        prom << obs::prometheus_text(telemetry_->filtered_snapshot());
+      } else {
+        HLOG(kError) << "service: cannot open prometheus sink " << config_.prom_out;
+      }
+    }
+    for (const obs::SloMonitor& monitor : slo_monitors_) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "slo %-24s %-8s  pages %llu  last %.6g\n",
+                    monitor.spec().name.c_str(), obs::to_string(monitor.state()),
+                    static_cast<unsigned long long>(monitor.pages()),
+                    monitor.last_value());
+      summary_.slo_lines += line;
+    }
+  }
 
   summary_.duration_sec = config_.duration_sec;
   summary_.running_at_end = running_;
@@ -328,7 +491,17 @@ std::string ServiceSummary::report() const {
       static_cast<unsigned long long>(groups_created), queue_delay_mean, queue_delay_p50,
       queue_delay_p99, jct_mean / 3600.0, jct_p50 / 3600.0, jct_p99 / 3600.0, final_score,
       final_drift, live_groups_at_end, free_machines_at_end);
-  return buf;
+  std::string out = buf;
+  // Telemetry block only when telemetry ran, so runs without it render the
+  // same bytes as before this block existed.
+  if (telemetry_windows > 0) {
+    std::snprintf(buf, sizeof(buf), "telemetry windows   %12llu  (slo pages %llu)\n",
+                  static_cast<unsigned long long>(telemetry_windows),
+                  static_cast<unsigned long long>(slo_pages));
+    out += buf;
+    out += slo_lines;
+  }
+  return out;
 }
 
 }  // namespace harmony::svc

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,9 @@
 #include "exp/workload.h"
 #include "harmony/incremental.h"
 #include "harmony/scheduler.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "svc/admission.h"
 
@@ -78,6 +82,20 @@ struct ServiceConfig {
   // Relative slack for the equivalence validator (see
   // validate_incremental_vs_full); must exceed incremental.drift_threshold.
   double equivalence_slack = 0.35;
+
+  // Live telemetry (obs::TimeSeriesEngine over the svc.* series): close one
+  // window every interval of *sim* time; 0 = off. Windowing samples only
+  // deterministic series (wall-fed svc.decision_latency_us is excluded), so
+  // telemetry output is a pure function of the seed, with or without
+  // validators.
+  double telemetry_interval_sec = 0.0;
+  std::size_t telemetry_capacity = 512;
+  std::string telemetry_out;  // optional JSONL sink, one line per window
+  std::string prom_out;       // optional Prometheus exposition at end of run
+  // SLO objectives evaluated against each closed window (obs::SloMonitor).
+  // A monitor entering `firing` counts a page and, when a flight recorder is
+  // armed, pulls its dump handle.
+  std::vector<obs::SloSpec> slos;
 };
 
 // End-of-run statistics. All fields except the wall-clock block are
@@ -110,6 +128,12 @@ struct ServiceSummary {
   std::size_t live_groups_at_end = 0;
   std::size_t free_machines_at_end = 0;
 
+  // Telemetry block (deterministic; rendered by report() only when telemetry
+  // ran, so legacy runs keep their byte-exact report).
+  std::uint64_t telemetry_windows = 0;
+  std::uint64_t slo_pages = 0;
+  std::string slo_lines;  // pre-rendered per-objective report lines
+
   // Wall-clock block (nondeterministic; excluded from report()).
   double wall_seconds = 0.0;
   double events_per_wall_sec = 0.0;
@@ -124,10 +148,18 @@ struct ServiceSummary {
 class Service {
  public:
   Service(ServiceConfig config, std::vector<exp::WorkloadSpec> catalog);
+  ~Service();
 
   // Runs the service: arrivals over [0, duration_sec], then drains departure
   // events already scheduled. Single-shot.
   ServiceSummary run();
+
+  // Everything --telemetry-out would have written, newline-terminated JSONL
+  // (empty when telemetry is off). Byte-deterministic in the seed.
+  const std::string& telemetry_jsonl() const noexcept { return telemetry_jsonl_; }
+  const std::vector<obs::SloMonitor>& slo_monitors() const noexcept {
+    return slo_monitors_;
+  }
 
   const core::IncrementalScheduler& placement() const noexcept { return placement_; }
 
@@ -151,6 +183,10 @@ class Service {
   void count_scheduling_event();
   PendingJob make_pending(core::JobId id);
   void maybe_validate();
+  // Closes one telemetry window at the current sim time and evaluates SLOs.
+  void telemetry_tick();
+  // Sim-stamped instant into the flight recorder's ring (no-op when disarmed).
+  void flight_instant(obs::EventKind kind, core::JobId id);
 
   ServiceConfig config_;
   std::vector<exp::WorkloadSpec> catalog_;
@@ -170,6 +206,14 @@ class Service {
   SampleSet jcts_;
   SampleSet decision_latencies_us_;  // wall; excluded from the report
   ServiceSummary summary_;
+
+  // Telemetry plumbing (null / empty when telemetry_interval_sec == 0).
+  std::unique_ptr<obs::TimeSeriesEngine> telemetry_;
+  std::vector<obs::SloMonitor> slo_monitors_;
+  std::unique_ptr<std::ofstream> telemetry_file_;
+  std::string telemetry_jsonl_;
+  double next_tick_sec_ = 0.0;
+  double last_sample_sec_ = 0.0;
 };
 
 }  // namespace harmony::svc

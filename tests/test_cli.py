@@ -12,8 +12,10 @@ Registered in ctest as `test_cli` with the binary path as argv[1].
 Run directly: python3 tests/test_cli.py /path/to/harmony-sim
 """
 
+import os
 import subprocess
 import sys
+import tempfile
 import unittest
 
 BINARY = None
@@ -32,7 +34,10 @@ class CliTest(unittest.TestCase):
                      "--event-queue", "--validate", "--metrics",
                      # service mode
                      "--service", "--duration", "--arrival-rate", "--admission",
-                     "--queue-cap", "--drift"):
+                     "--queue-cap", "--drift",
+                     # telemetry family
+                     "--telemetry-out", "--telemetry-interval", "--prom-out",
+                     "--slo", "--flight-recorder"):
             self.assertIn(flag, proc.stdout, f"--help must document {flag}")
         self.assertIn("fifo|sjf", proc.stdout)
 
@@ -72,6 +77,44 @@ class CliTest(unittest.TestCase):
         # Wall-clock stats are stderr-only: nondeterministic surface.
         self.assertIn("events/s", second.stderr)
         self.assertNotIn("events/s", first.stdout)
+
+    def test_bad_slo_spec_is_named(self):
+        self.assert_named_error("not-a-slo", "--service", "--slo", "not-a-slo=1")
+        self.assert_named_error("'abc'",
+                                "--service", "--slo", "queue-delay-p99=abc")
+
+    def test_telemetry_flags_require_service_mode(self):
+        self.assert_named_error("--telemetry-out", "--telemetry-out", "t.jsonl")
+        self.assert_named_error("--slo", "--slo", "queue-delay-p99=120")
+
+    def test_telemetry_interval_must_be_positive(self):
+        self.assert_named_error("--telemetry-interval", "--service",
+                                "--telemetry-interval", "0")
+
+    def test_telemetry_files_are_bit_identical_across_runs(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            outs = []
+            for name, extra in (("a", ()), ("b", ()), ("v", ("--validate",))):
+                tel = os.path.join(tmp, f"tel-{name}.jsonl")
+                prom = os.path.join(tmp, f"prom-{name}.txt")
+                proc = run("--service", "--duration", "1200", "--arrival-rate",
+                           "0.2", "--machines", "80", "--seed", "5",
+                           "--telemetry-out", tel, "--prom-out", prom,
+                           "--slo", "queue-delay-p99=120", *extra)
+                self.assertEqual(proc.returncode, 0, proc.stderr)
+                with open(tel) as f:
+                    jsonl = f.read()
+                with open(prom) as f:
+                    promtext = f.read()
+                outs.append((jsonl, promtext, proc.stdout))
+            # Rerun and validators-on must both be byte-identical.
+            self.assertEqual(outs[0], outs[1])
+            self.assertEqual(outs[0], outs[2])
+            self.assertIn('"schema":"harmony-telemetry-v1"', outs[0][0])
+            self.assertIn("# TYPE harmony_svc_arrivals_total counter",
+                          outs[0][1])
+            self.assertIn("telemetry windows", outs[0][2])
+            self.assertIn("queue-delay-p99", outs[0][2])
 
     def test_service_sjf_policy_accepted(self):
         proc = run("--service", "--duration", "600", "--arrival-rate", "0.2",

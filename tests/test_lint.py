@@ -148,6 +148,46 @@ class LintSelfTest(unittest.TestCase):
              "using WallClock = std::chrono::steady_clock;"
              "  // lint: allow-nondeterminism latency metrics only\n"})
 
+    def test_new_obs_telemetry_files_are_wall_clock_banned(self):
+        self.assert_finding(
+            {"src/obs/timeseries.cpp":
+             "auto t = std::chrono::steady_clock::now();\n"},
+            "nondeterminism")
+        self.assert_finding(
+            {"src/obs/slo.cpp": "using C = std::chrono::system_clock;\n"},
+            "nondeterminism")
+        # The tracer's wall domain stays exempt (covered above too).
+        self.assert_clean(
+            {"src/obs/trace.cpp": "auto t = std::chrono::steady_clock::now();\n"})
+
+    # --- signal-handling --------------------------------------------------
+
+    def test_signal_api_banned(self):
+        self.assert_finding(
+            {"src/exp/run.cpp": "#include <csignal>\nvoid f() { std::signal(6, h); }\n"},
+            "signal-handling", "FlightRecorder")
+
+    def test_sigaction_banned_in_tools(self):
+        self.assert_finding(
+            {"tools/probe.cpp": "void f() { sigaction(11, &sa, nullptr); }\n"},
+            "signal-handling")
+
+    def test_signal_marker_escapes(self):
+        self.assert_clean(
+            {"tools/probe.cpp":
+             "#include <csignal>  // lint: allow-signal-handler crash hook\n"
+             "void f() { std::raise(6); }  // lint: allow-signal-handler re-raise\n"})
+
+    def test_flight_recorder_exempt_from_signal_rule(self):
+        self.assert_clean(
+            {"src/obs/flight_recorder.cpp":
+             "void f() { std::signal(6, h); }\n"})
+
+    def test_signal_like_identifiers_not_flagged(self):
+        self.assert_clean(
+            {"src/sim/engine.cpp":
+             "void fatal_signal_handler(int);\nint raise_count = bus.signal_count();\n"})
+
     # --- nondeterminism ---------------------------------------------------
 
     def test_wall_clock_banned_in_sim(self):

@@ -369,6 +369,120 @@ TEST(MetricsRegistryTest, BenchReportAttachRejectsNonObjectDocuments) {
   EXPECT_FALSE(ok);
 }
 
+TEST(DeltaSnapshotTest, CounterAndHistogramDeltasGaugesKeepLevel) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  auto& ctr = reg.counter("delta.requests");
+  auto& gauge = reg.gauge("delta.depth");
+  auto& hist = reg.histogram("delta.latency", 0.0, 100.0, 10);
+
+  ctr.add(5);
+  gauge.set(3.0);
+  hist.observe(10.0);
+  const MetricsSnapshot before = reg.snapshot();
+
+  ctr.add(7);
+  gauge.set(9.0);
+  hist.observe(10.0);
+  hist.observe(90.0);
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsSnapshot d = delta_snapshot(before, after);
+  EXPECT_EQ(d.counters.at("delta.requests"), 7u);
+  // A gauge is a level, not a flow: latest value, not 9 - 3.
+  EXPECT_DOUBLE_EQ(d.gauges.at("delta.depth"), 9.0);
+  const auto& h = d.histograms.at("delta.latency");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 100.0);
+  EXPECT_EQ(h.bins[1], 1u);   // the second 10.0, first one subtracted out
+  EXPECT_EQ(h.bins[9], 1u);   // the 90.0
+}
+
+TEST(DeltaSnapshotTest, ResetBetweenSnapshotsIsNotUnsignedWraparound) {
+  MetricsSnapshot prev;
+  prev.counters["c"] = 100;
+  MetricsSnapshot cur;
+  cur.counters["c"] = 4;  // ran backwards: a reset() happened in between
+  const MetricsSnapshot d = delta_snapshot(prev, cur);
+  // The restarted counter contributes its whole current value, not 2^64 - 96.
+  EXPECT_EQ(d.counters.at("c"), 4u);
+
+  MetricsSnapshot hp;
+  hp.histograms["h"] = {0.0, 10.0, {5, 0}, 5, 25.0};
+  MetricsSnapshot hc;
+  hc.histograms["h"] = {0.0, 10.0, {2, 0}, 2, 4.0};
+  const MetricsSnapshot hd = delta_snapshot(hp, hc);
+  const auto& h = hd.histograms.at("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 4.0);
+  EXPECT_EQ(h.bins[0], 2u);
+}
+
+TEST(DeltaSnapshotTest, EmptyWindowYieldsZeroDeltas) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.counter("idle.ticks").add(42);
+  reg.histogram("idle.wait", 0.0, 10.0, 5).observe(3.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricsSnapshot d = delta_snapshot(snap, snap);
+  EXPECT_EQ(d.counters.at("idle.ticks"), 0u);
+  const auto& h = d.histograms.at("idle.wait");
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0);
+  EXPECT_DOUBLE_EQ(histogram_state_percentile(h, 0.99), 0.0);
+}
+
+TEST(DeltaSnapshotTest, MetricRegisteredMidWindowContributesFullState) {
+  MetricsSnapshot prev;
+  prev.counters["old"] = 1;
+  MetricsSnapshot cur;
+  cur.counters["old"] = 1;
+  cur.counters["fresh"] = 17;
+  cur.gauges["fresh.level"] = 2.5;
+  cur.histograms["fresh.hist"] = {0.0, 10.0, {3, 1}, 4, 8.0};
+  const MetricsSnapshot d = delta_snapshot(prev, cur);
+  EXPECT_EQ(d.counters.at("fresh"), 17u);
+  EXPECT_DOUBLE_EQ(d.gauges.at("fresh.level"), 2.5);
+  EXPECT_EQ(d.histograms.at("fresh.hist").count, 4u);
+  // Absent from cur means dropped, not carried forward.
+  MetricsSnapshot shrunk;
+  shrunk.counters["old"] = 2;
+  const MetricsSnapshot d2 = delta_snapshot(cur, shrunk);
+  EXPECT_EQ(d2.counters.count("fresh"), 0u);
+}
+
+TEST(DeltaSnapshotTest, WindowPercentileClampsToOccupiedBins) {
+  // Six samples in bin [0, 50): raw min/max don't survive deltas, so the
+  // quantile is interpolated within the occupied-bin envelope.
+  MetricsSnapshot::HistogramState h;
+  h.lo = 0.0;
+  h.hi = 500.0;
+  h.bins = {6, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  h.count = 6;
+  const double p50 = histogram_state_percentile(h, 0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 50.0);
+  // All mass in the top bin: p99 stays inside [450, 500].
+  MetricsSnapshot::HistogramState top;
+  top.lo = 0.0;
+  top.hi = 500.0;
+  top.bins = {0, 0, 0, 0, 0, 0, 0, 0, 0, 4};
+  top.count = 4;
+  const double p99 = histogram_state_percentile(top, 0.99);
+  EXPECT_GE(p99, 450.0);
+  EXPECT_LE(p99, 500.0);
+  // Mass split across bins 1 and 8: median lands in the low occupied bin,
+  // p99 in the high one, and both respect the envelope.
+  MetricsSnapshot::HistogramState split;
+  split.lo = 0.0;
+  split.hi = 500.0;
+  split.bins = {0, 10, 0, 0, 0, 0, 0, 0, 10, 0};
+  split.count = 20;
+  EXPECT_LE(histogram_state_percentile(split, 0.25), 100.0);
+  EXPECT_GE(histogram_state_percentile(split, 0.99), 400.0);
+  EXPECT_LE(histogram_state_percentile(split, 0.99), 450.0);
+}
+
 TEST(MetricsRegistryTest, BenchReportAttachLeavesRejectedFileUntouched) {
   const std::string path = attach_fixture_path();
   const std::string original = "[\"not\", \"an\", \"object\"]\n";

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validates harmony-sim telemetry artifacts.
+
+Two checkers, picked by flag:
+
+  --jsonl FILE   every line is a standalone JSON object following the
+                 harmony-telemetry-v1 schema: monotone window indices,
+                 start <= end, counters/rates/gauges/histograms maps with
+                 numeric values, rates consistent with counter deltas over
+                 the window, and (when present) well-formed "slos" entries.
+  --prom FILE    Prometheus text exposition (version 0.0.4 subset): every
+                 sample line parses, every metric is preceded by its # TYPE,
+                 histogram _bucket counts are cumulative and end with +Inf,
+                 and _count equals the +Inf bucket.
+
+Both checkers may be given in one invocation. Exit status: 0 = all files
+valid, 1 = violations (printed one per line), 2 = usage error.
+
+CI runs this after the service-mode smoke:
+  harmony-sim --service ... --telemetry-out t.jsonl --prom-out p.txt
+  python3 tools/check_telemetry.py --jsonl t.jsonl --prom p.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+SCHEMA = "harmony-telemetry-v1"
+ALERT_STATES = {"inactive", "pending", "firing", "resolved"}
+
+PROM_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+?Inf|NaN))$")
+PROM_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+
+
+def is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
+
+
+def check_jsonl(path: str) -> list[str]:
+    errors: list[str] = []
+    expected_window = None
+    prev_end = None
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return [f"{path}: empty telemetry file"]
+    for no, line in enumerate(lines, start=1):
+        where = f"{path}:{no}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: not valid JSON: {e}")
+            continue
+        if obj.get("schema") != SCHEMA:
+            errors.append(f"{where}: schema is {obj.get('schema')!r}, want {SCHEMA!r}")
+            continue
+        window = obj.get("window")
+        if expected_window is not None and window != expected_window:
+            errors.append(f"{where}: window {window}, expected {expected_window}")
+        expected_window = (window + 1) if isinstance(window, int) else None
+        start, end = obj.get("start"), obj.get("end")
+        if not (is_num(start) and is_num(end) and start <= end):
+            errors.append(f"{where}: bad window bounds start={start} end={end}")
+        elif prev_end is not None and start != prev_end:
+            errors.append(f"{where}: window start {start} != previous end {prev_end}")
+        prev_end = end if is_num(end) else None
+
+        for section in ("counters", "gauges", "rates"):
+            values = obj.get(section)
+            if not isinstance(values, dict):
+                errors.append(f"{where}: missing/bad {section} map")
+                continue
+            for name, v in values.items():
+                if not is_num(v):
+                    errors.append(f"{where}: {section}[{name}] = {v!r} is not a number")
+        counters = obj.get("counters", {})
+        rates = obj.get("rates", {})
+        if isinstance(counters, dict) and isinstance(rates, dict):
+            if set(counters) != set(rates):
+                errors.append(f"{where}: counters and rates key sets differ")
+            elif is_num(start) and is_num(end) and end > start:
+                length = end - start
+                for name, delta in counters.items():
+                    want = delta / length
+                    got = rates.get(name, 0.0)
+                    if is_num(delta) and abs(got - want) > 1e-9 * max(1.0, abs(want)):
+                        errors.append(
+                            f"{where}: rates[{name}] = {got}, want delta/len = {want}")
+        hists = obj.get("histograms")
+        if not isinstance(hists, dict):
+            errors.append(f"{where}: missing/bad histograms map")
+        else:
+            for name, h in hists.items():
+                if not isinstance(h, dict) or \
+                   not all(is_num(h.get(k)) for k in ("count", "sum", "p50", "p99")):
+                    errors.append(f"{where}: histograms[{name}] malformed: {h!r}")
+        for slo in obj.get("slos", []):
+            if not isinstance(slo, dict) or "name" not in slo or \
+               slo.get("state") not in ALERT_STATES or not is_num(slo.get("value")) or \
+               slo.get("breached") not in (0, 1):
+                errors.append(f"{where}: malformed slo entry: {slo!r}")
+    return errors
+
+
+def check_prom(path: str) -> list[str]:
+    errors: list[str] = []
+    typed: dict[str, str] = {}
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    counts: dict[str, float] = {}
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return [f"{path}: empty exposition file"]
+    for no, line in enumerate(lines, start=1):
+        where = f"{path}:{no}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                m = PROM_TYPE_RE.match(line)
+                if not m:
+                    errors.append(f"{where}: malformed # TYPE line: {line!r}")
+                else:
+                    typed[m.group(1)] = m.group(2)
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: malformed sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        base = re.sub(r"_(?:total|bucket|sum|count)$", "", name)
+        if base not in typed and name not in typed:
+            errors.append(f"{where}: sample {name} has no preceding # TYPE")
+        if name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            if not le:
+                errors.append(f"{where}: _bucket sample without le label")
+            else:
+                buckets.setdefault(base, []).append((le.group(1), float(value)))
+        elif name.endswith("_count"):
+            counts[base] = float(value)
+    for base, series in buckets.items():
+        if not series or series[-1][0] != "+Inf":
+            errors.append(f"{path}: histogram {base} buckets do not end with le=\"+Inf\"")
+            continue
+        values = [v for _, v in series]
+        if any(b > a for b, a in zip(values, values[1:])):
+            errors.append(f"{path}: histogram {base} bucket counts are not cumulative")
+        if base in counts and counts[base] != values[-1]:
+            errors.append(
+                f"{path}: histogram {base} _count {counts[base]} != +Inf bucket {values[-1]}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--jsonl", action="append", default=[],
+                        help="telemetry JSONL file to validate (repeatable)")
+    parser.add_argument("--prom", action="append", default=[],
+                        help="Prometheus exposition file to validate (repeatable)")
+    args = parser.parse_args()
+    if not args.jsonl and not args.prom:
+        parser.error("nothing to check: pass --jsonl and/or --prom")
+
+    errors: list[str] = []
+    for path in args.jsonl:
+        errors += check_jsonl(path)
+    for path in args.prom:
+        errors += check_prom(path)
+    for e in errors:
+        print(e)
+    checked = len(args.jsonl) + len(args.prom)
+    if errors:
+        print(f"check_telemetry: {len(errors)} violation(s) across {checked} file(s)")
+        return 1
+    print(f"check_telemetry: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,21 @@
 //     --spill on|off                    data spill/reload     (default on)
 //     --event-queue calendar|heap       simulator event-queue implementation
 //                                       (default calendar; both bit-identical)
+//     --telemetry-out FILE              live telemetry as JSON Lines, one
+//                                       window per line (byte-deterministic)
+//     --telemetry-interval SEC          telemetry window length in sim time
+//                                       (default 60 once any telemetry flag
+//                                       is given)
+//     --prom-out FILE                   Prometheus text exposition of the
+//                                       service series at end of run
+//     --slo NAME=THRESHOLD              declare an SLO (repeatable):
+//                                       queue-delay-p99, rejection-rate,
+//                                       drift-escalation-rate,
+//                                       sched-throughput-floor
+//     --flight-recorder DIR             arm the crash flight recorder; dumps
+//                                       a Chrome trace + context bundle into
+//                                       DIR on CHECK failure, fatal signal,
+//                                       or SLO page
 //     --naive-seed S                    naive grouping shuffle seed
 //     --error F                         profile error injection, e.g. 0.1
 //     --timeline                        print the utilization timeline
@@ -48,9 +63,11 @@
 //   harmony_sim --policy naive --naive-seed 3
 //   harmony_sim --jobs 20 --machines 40 --arrival poisson:120 --timeline
 //   harmony_sim --jobs 20 --machines 40 --chrome-trace out.json --metrics m.json
+#include <csignal>  // lint: allow-signal-handler (flight-recorder crash hook)
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "exp/arrivals.h"
@@ -58,7 +75,9 @@
 #include "exp/workload.h"
 #include "obs/analysis/analysis.h"
 #include "obs/analysis/report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "svc/service.h"
 
@@ -79,7 +98,10 @@ void print_usage(std::FILE* out, const char* argv0) {
                "       %s --service [--duration SEC] [--arrival-rate JOBS_PER_SEC]\n"
                "          [--admission fifo|sjf] [--queue-cap N] [--drift F]\n"
                "          [--machines M] [--arrival poisson:SEC|trace:SEC] [--seed S]\n"
-               "          [--event-queue calendar|heap] [--validate] [--metrics FILE]\n",
+               "          [--event-queue calendar|heap] [--validate] [--metrics FILE]\n"
+               "          [--telemetry-out FILE] [--telemetry-interval SEC]\n"
+               "          [--prom-out FILE] [--slo NAME=THRESHOLD]...\n"
+               "          [--flight-recorder DIR]\n",
                argv0, argv0);
 }
 
@@ -91,6 +113,22 @@ void print_usage(std::FILE* out, const char* argv0) {
 
 double parse_suffixed(const std::string& value, const std::string& prefix) {
   return std::stod(value.substr(prefix.size()));
+}
+
+// Fatal-signal hook: pull the flight recorder's handle, then re-raise with
+// the default disposition so the exit status still reflects the signal. The
+// dump allocates — not strictly async-signal-safe, but the process is doomed
+// either way and the bundle is the whole point of the black box.
+extern "C" void fatal_signal_handler(int signo) {
+  obs::FlightRecorder::instance().on_fatal_signal(signo);
+  std::signal(signo, SIG_DFL);  // lint: allow-signal-handler
+  std::raise(signo);            // lint: allow-signal-handler
+}
+
+void install_fatal_signal_handlers() {
+  for (const int signo : {SIGSEGV, SIGABRT, SIGFPE, SIGILL, SIGBUS}) {
+    std::signal(signo, fatal_signal_handler);  // lint: allow-signal-handler
+  }
 }
 
 }  // namespace
@@ -109,6 +147,11 @@ int main(int argc, char** argv) {
   bool service_mode = false;
   bool machines_set = false;
   svc::ServiceConfig svc_config;
+  std::string telemetry_out;
+  std::string prom_out;
+  double telemetry_interval_sec = 0.0;
+  std::vector<obs::SloSpec> slos;
+  std::string flight_recorder_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -175,6 +218,21 @@ int main(int argc, char** argv) {
       config.debug_trace = true;
     } else if (arg == "--chrome-trace") {
       chrome_trace_file = next();
+    } else if (arg == "--telemetry-out") {
+      telemetry_out = next();
+    } else if (arg == "--telemetry-interval") {
+      telemetry_interval_sec = std::stod(next());
+      if (telemetry_interval_sec <= 0.0)
+        usage_error(argv[0], "--telemetry-interval must be positive");
+    } else if (arg == "--prom-out") {
+      prom_out = next();
+    } else if (arg == "--slo") {
+      obs::SloSpec spec;
+      std::string error;
+      if (!obs::parse_slo(next(), spec, error)) usage_error(argv[0], error);
+      slos.push_back(std::move(spec));
+    } else if (arg == "--flight-recorder") {
+      flight_recorder_dir = next();
     } else if (arg == "--metrics") {
       metrics_file = next();
     } else if (arg == "--report") {
@@ -200,6 +258,18 @@ int main(int argc, char** argv) {
   if (!chrome_trace_file.empty() || !report_dir.empty())
     obs::Tracer::instance().set_enabled(true);
 
+  // The flight recorder works in any mode: CHECK failures and fatal signals
+  // dump regardless of whether the service is driving telemetry ticks.
+  if (!flight_recorder_dir.empty()) {
+    obs::FlightRecorder::instance().arm(flight_recorder_dir);
+    install_fatal_signal_handlers();
+  }
+
+  if (!service_mode && (!telemetry_out.empty() || !prom_out.empty() || !slos.empty() ||
+                        telemetry_interval_sec > 0.0))
+    usage_error(argv[0],
+                "--telemetry-out/--telemetry-interval/--prom-out/--slo require --service");
+
   if (service_mode) {
     if (arrival_set) {
       if (arrival.rfind("poisson:", 0) == 0) {
@@ -224,6 +294,16 @@ int main(int argc, char** argv) {
     // the default slack (the Service constructor requires slack > threshold).
     if (svc_config.equivalence_slack <= svc_config.incremental.drift_threshold)
       svc_config.equivalence_slack = svc_config.incremental.drift_threshold + 0.25;
+
+    // Any telemetry request implies ticking; the default cadence is one
+    // window per simulated minute.
+    svc_config.telemetry_out = telemetry_out;
+    svc_config.prom_out = prom_out;
+    svc_config.slos = slos;
+    svc_config.telemetry_interval_sec = telemetry_interval_sec;
+    if (svc_config.telemetry_interval_sec == 0.0 &&
+        (!telemetry_out.empty() || !prom_out.empty() || !slos.empty()))
+      svc_config.telemetry_interval_sec = 60.0;
 
     std::printf("service machines=%zu duration=%.0fs arrival=%s mean=%.3fs "
                 "admission=%s queue-cap=%zu drift=%.2f seed=%llu\n\n",

@@ -89,8 +89,13 @@ DETERMINISTIC_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src
 # Directories where even reading a wall clock is banned (src/common is spared:
 # logging timestamps live there, and they never feed back into simulation).
 # src/svc measures decision latency off a wall clock, but only at the one
-# marked choke point (its report never feeds simulated time).
-CLOCK_BANNED_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/svc")
+# marked choke point (its report never feeds simulated time). The live
+# telemetry layer (timeseries/slo/flight_recorder) is sim-clocked by design:
+# every window and alert timestamp comes from the caller, so the byte-
+# deterministic JSONL contract can't be broken by a stray clock read. The
+# tracer's wall domain (src/obs/trace.*) stays exempt.
+CLOCK_BANNED_DIRS = ("src/sim", "src/harmony", "src/exp", "src/baselines", "src/svc",
+                     "src/obs/timeseries", "src/obs/slo", "src/obs/flight_recorder")
 # All directories subject to the generic rules.
 SOURCE_DIRS = ("src", "tools", "tests")
 SOURCE_EXTS = (".h", ".cpp")
@@ -102,13 +107,27 @@ ALLOW_NAKED_NEW = "lint: allow-naked-new"
 ALLOW_NONDET = "lint: allow-nondeterminism"
 ALLOW_RAW_MUTEX = "lint: allow-raw-mutex"
 ALLOW_STD_FUNCTION = "lint: allow-std-function"
+ALLOW_SIGNAL = "lint: allow-signal-handler"
 
 # Directories where event payloads are hot: std::function's type-erased heap
 # state is banned in favor of sim::SmallFn / the EventArena.
 EVENT_PAYLOAD_DIRS = ("src/sim", "src/exp")
 
 RULE_NAMES = ("nondeterminism", "naked-new", "header-hygiene", "lock-discipline",
-              "layering", "read-only-analysis", "event-payload", "detlint-escape")
+              "layering", "read-only-analysis", "event-payload", "detlint-escape",
+              "signal-handling")
+
+# Signal handling is process-global state: one stray handler can shadow the
+# flight recorder's crash hook or swallow a CI-visible abort. The APIs are
+# confined to the flight-recorder dump path; anywhere else needs the marked
+# escape with a justification (tools/harmony_sim.cpp installs the handlers).
+SIGNAL_PATTERNS = [
+    (re.compile(r"(?<![\w:.])(?:std::)?(?:signal|raise|sigaction)\s*\("),
+     "signal-handling API outside the flight-recorder dump path"),
+    (re.compile(r"#\s*include\s*<(?:csignal|signal\.h)>"),
+     "<csignal>/<signal.h> outside the flight-recorder dump path"),
+]
+SIGNAL_EXEMPT_FILES = ("src/obs/flight_recorder.h", "src/obs/flight_recorder.cpp")
 
 # Canonical escape names come from tools/detlint.py (one per rule family).
 # detlint imports find_compile_commands from this module, so when *this*
@@ -323,6 +342,15 @@ def lint_file(root: str, path: str, findings: Findings):
                 if pattern.search(code):
                     findings.add(root, path, line_no, "lock-discipline",
                                  f"{message} (or mark the line `// {ALLOW_RAW_MUTEX}`)")
+
+        if rel not in SIGNAL_EXEMPT_FILES and ALLOW_SIGNAL not in raw:
+            for pattern, message in SIGNAL_PATTERNS:
+                if pattern.search(code):
+                    findings.add(root, path, line_no, "signal-handling",
+                                 f"{message}; route crash capture through "
+                                 "obs::FlightRecorder (or mark the line "
+                                 f"`// {ALLOW_SIGNAL}` with a justification)")
+                    break
 
         if in_src:
             m = INCLUDE_RE.search(line)
